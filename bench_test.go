@@ -1,0 +1,207 @@
+package repro
+
+// One benchmark per figure of the paper's evaluation (§VI). Each
+// benchmark regenerates the figure's full series via the experiment
+// drivers and reports the figure's headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` re-derives the entire
+// evaluation. The figures are also printable as tables with
+// cmd/ppabench.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// reportSeries attaches selected series points as custom benchmark
+// metrics (unit suffix chosen by the figure's y-axis).
+func reportSeries(b *testing.B, r experiments.Result, unit string, picks map[string]string) {
+	for series, x := range picks {
+		for _, s := range r.Series {
+			if s.Name != series {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					b.ReportMetric(p.Y, series+"_"+unit)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig07SingleNodeRecovery regenerates Fig. 7: recovery latency
+// of a single node failure for Active/Checkpoint/Storm techniques over
+// the window x rate matrix.
+func BenchmarkFig07SingleNodeRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r, "s", map[string]string{
+				"Active-5s":      "win:30s rate:2000tps",
+				"Checkpoint-30s": "win:30s rate:2000tps",
+				"Storm":          "win:30s rate:2000tps",
+			})
+		}
+	}
+}
+
+// BenchmarkFig08CorrelatedRecovery regenerates Fig. 8: recovery latency
+// of a correlated failure of all 15 processing nodes.
+func BenchmarkFig08CorrelatedRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r, "s", map[string]string{
+				"Active-5s":      "win:30s rate:2000tps",
+				"Checkpoint-30s": "win:30s rate:2000tps",
+				"Storm":          "win:30s rate:2000tps",
+			})
+		}
+	}
+}
+
+// BenchmarkFig09CheckpointCost regenerates Fig. 9: the CPU cost ratio of
+// checkpoint maintenance vs normal processing across intervals.
+func BenchmarkFig09CheckpointCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r, "ratio", map[string]string{
+				"1000_tuples/s": "1s",
+				"2000_tuples/s": "1s",
+			})
+		}
+	}
+}
+
+// BenchmarkFig10PPARecovery regenerates Fig. 10 (both subfigures):
+// correlated-failure recovery latency under PPA-1.0 / PPA-0.5 / PPA-0
+// replication plans.
+func BenchmarkFig10PPARecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, rate := range []int{1000, 2000} {
+			r, err := experiments.Fig10(rate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && rate == 1000 {
+				reportSeries(b, r, "s", map[string]string{
+					"PPA-1.0":        "30s",
+					"PPA-0.5-active": "30s",
+					"PPA-0.5":        "30s",
+					"PPA-0":          "30s",
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12MetricValidation regenerates Fig. 12 (Q1 and Q2): the
+// OF and IC metric values against the actual accuracy of tentative
+// outputs.
+func BenchmarkFig12MetricValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q1, err := experiments.Fig12Q1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q2, err := experiments.Fig12Q2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, q1, "q1", map[string]string{"OF": "0.4", "OF-SA-Accuracy": "0.4"})
+			reportSeries(b, q2, "q2", map[string]string{"IC": "0.4", "IC-SA-Accuracy": "0.4"})
+		}
+	}
+}
+
+// BenchmarkFig13AlgorithmComparison regenerates Fig. 13 (Q1 and Q2):
+// plans by DP, SA and Greedy with their OF and actual accuracy.
+func BenchmarkFig13AlgorithmComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q1, err := experiments.Fig13Q1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q2, err := experiments.Fig13Q2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, q1, "q1", map[string]string{"DP-OF": "0.4", "SA-OF": "0.4", "Greedy-OF": "0.4"})
+			reportSeries(b, q2, "q2", map[string]string{"DP-OF": "0.4", "SA-OF": "0.4", "Greedy-OF": "0.4"})
+		}
+	}
+}
+
+// fig14Topologies is the number of random topologies per variant in the
+// Fig. 14 benchmarks (the paper uses 100; cmd/ppabench defaults to 100,
+// the benchmark uses a smaller fleet to keep -bench runs minutes-scale).
+const fig14Topologies = 25
+
+// BenchmarkFig14aWorkloadSkew regenerates Fig. 14(a): SA vs Greedy OF on
+// random topologies with uniform vs Zipfian task workloads.
+func BenchmarkFig14aWorkloadSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14a(fig14Topologies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r, "of", map[string]string{"SA-zipf": "0.2", "Greedy-zipf": "0.2"})
+		}
+	}
+}
+
+// BenchmarkFig14bParallelism regenerates Fig. 14(b): parallelisation
+// degree ranges 1-10 vs 10-20.
+func BenchmarkFig14bParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14b(fig14Topologies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r, "of", map[string]string{"SA-para:10~20": "0.2", "Greedy-para:10~20": "0.2"})
+		}
+	}
+}
+
+// BenchmarkFig14cFullPartitioning regenerates Fig. 14(c): structured vs
+// full topologies.
+func BenchmarkFig14cFullPartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14c(fig14Topologies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r, "of", map[string]string{"SA-Structure": "0.4", "SA-Full": "0.4"})
+		}
+	}
+}
+
+// BenchmarkFig14dJoinFraction regenerates Fig. 14(d): join-operator
+// fractions 0 vs 50% on identical topologies.
+func BenchmarkFig14dJoinFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14d(fig14Topologies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, r, "of", map[string]string{"SA-NoJoin": "0.4", "SA-Join-50%": "0.4"})
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command ppabench regenerates the figures of the paper's evaluation
+// section (§VI) and prints them as text tables. Run with -figure all
+// (slow: every experiment) or a specific figure id.
+//
+// Usage:
+//
+//	ppabench -figure 8
+//	ppabench -figure 14a -n 100
+//	ppabench -figure all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "figure to regenerate: 7, 8, 9, 10, 12, 13, 14a, 14b, 14c, 14d, all")
+		n      = flag.Int("n", 100, "random topologies per Fig. 14 variant")
+	)
+	flag.Parse()
+
+	type job struct {
+		id  string
+		run func() ([]experiments.Result, error)
+	}
+	one := func(f func() (experiments.Result, error)) func() ([]experiments.Result, error) {
+		return func() ([]experiments.Result, error) {
+			r, err := f()
+			return []experiments.Result{r}, err
+		}
+	}
+	jobs := []job{
+		{"7", one(experiments.Fig7)},
+		{"8", one(experiments.Fig8)},
+		{"9", one(experiments.Fig9)},
+		{"10", func() ([]experiments.Result, error) {
+			a, err := experiments.Fig10(1000)
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.Fig10(2000)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Result{a, b}, nil
+		}},
+		{"12", func() ([]experiments.Result, error) {
+			a, err := experiments.Fig12Q1()
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.Fig12Q2()
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Result{a, b}, nil
+		}},
+		{"13", func() ([]experiments.Result, error) {
+			a, err := experiments.Fig13Q1()
+			if err != nil {
+				return nil, err
+			}
+			b, err := experiments.Fig13Q2()
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Result{a, b}, nil
+		}},
+		{"14a", one(func() (experiments.Result, error) { return experiments.Fig14a(*n) })},
+		{"14b", one(func() (experiments.Result, error) { return experiments.Fig14b(*n) })},
+		{"14c", one(func() (experiments.Result, error) { return experiments.Fig14c(*n) })},
+		{"14d", one(func() (experiments.Result, error) { return experiments.Fig14d(*n) })},
+	}
+
+	ran := false
+	for _, j := range jobs {
+		if *figure != "all" && *figure != j.id {
+			continue
+		}
+		ran = true
+		results, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppabench: figure %s: %v\n", j.id, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println(r.String())
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ppabench: unknown figure %q\n", *figure)
+		os.Exit(1)
+	}
+}

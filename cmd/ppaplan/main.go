@@ -1,0 +1,83 @@
+// Command ppaplan computes a partially active replication plan for a
+// query topology given as a JSON spec (see internal/topology.Spec),
+// printing the chosen tasks and the plan's predicted Output Fidelity
+// and Internal Completeness.
+//
+// Usage:
+//
+//	ppaplan -topology topo.json -algorithm sa -fraction 0.5
+//	topogen -seed 7 | ppaplan -algorithm greedy -budget 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "-", "topology spec JSON file ('-' for stdin)")
+		algName  = flag.String("algorithm", "sa", "planning algorithm: sa, dp, greedy, sa-ic")
+		budget   = flag.Int("budget", -1, "replication budget in tasks (overrides -fraction)")
+		fraction = flag.Float64("fraction", 0.5, "replication budget as a fraction of the task count")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *topoPath != "-" {
+		f, err := os.Open(*topoPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	topo, err := topology.ReadSpec(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var alg core.Algorithm
+	switch *algName {
+	case "sa":
+		alg = core.AlgorithmSA
+	case "dp":
+		alg = core.AlgorithmDP
+	case "greedy":
+		alg = core.AlgorithmGreedy
+	case "sa-ic":
+		alg = core.AlgorithmSAIC
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (want sa, dp, greedy, sa-ic)", *algName))
+	}
+
+	mgr := core.NewManager(topo)
+	b := *budget
+	if b < 0 {
+		b = mgr.BudgetForFraction(*fraction)
+	}
+	res, err := mgr.Plan(alg, b)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("topology: %d operators, %d tasks\n", topo.NumOps(), topo.NumTasks())
+	fmt.Printf("algorithm: %s, budget: %d tasks\n", res.Algorithm, res.Budget)
+	fmt.Printf("plan size: %d tasks\n", res.Plan.Size())
+	fmt.Printf("predicted OF: %.4f\n", res.OF)
+	fmt.Printf("predicted IC: %.4f\n", res.IC)
+	fmt.Println("replicated tasks:")
+	for _, id := range res.Plan.Tasks() {
+		task := topo.Tasks[id]
+		fmt.Printf("  task %3d = %s[%d]\n", id, topo.Ops[task.Op].Name, task.Index)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppaplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command topogen emits random query topologies as JSON specs, using
+// the §VI-C random topology generator of the paper. The output feeds
+// directly into ppaplan.
+//
+// Usage:
+//
+//	topogen -seed 7 -min-ops 5 -max-ops 10 -skew 0.1 -join 0.5 > topo.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/randtopo"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "generator seed")
+		minO = flag.Int("min-ops", 5, "minimum operator count")
+		maxO = flag.Int("max-ops", 10, "maximum operator count")
+		minP = flag.Int("min-par", 1, "minimum parallelisation degree")
+		maxP = flag.Int("max-par", 10, "maximum parallelisation degree")
+		skew = flag.Float64("skew", 0, "Zipf parameter of task workload skew (0 = uniform)")
+		full = flag.Bool("full", false, "generate an all-Full topology instead of a structured one")
+		join = flag.Float64("join", 0, "fraction of operators made correlated-input joins")
+		rate = flag.Float64("rate", 1000, "source rate per task (tuples/s)")
+	)
+	flag.Parse()
+
+	spec := randtopo.DefaultSpec(*seed)
+	spec.MinOps, spec.MaxOps = *minO, *maxO
+	spec.MinPar, spec.MaxPar = *minP, *maxP
+	spec.Skew = *skew
+	spec.Full = *full
+	spec.JoinFraction = *join
+	spec.SourceRate = *rate
+
+	topo, err := randtopo.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	if err := topology.WriteSpec(os.Stdout, topo); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is the root of the PPA reproduction — Su & Zhou,
+// "Tolerating Correlated Failures in Massively Parallel Stream
+// Processing Engines" (ICDE 2016) — rebuilt as a Go library.
+//
+// Import repro/ppa for the public API; see README.md, DESIGN.md and
+// EXPERIMENTS.md. The benchmarks in bench_test.go regenerate every
+// figure of the paper's evaluation section:
+//
+//	go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,175 @@
+// Package cluster models the simulated processing cluster of the
+// reproduction: processing nodes hosting primary tasks, standby nodes
+// hosting checkpoints and active replicas (§V-A of Su & Zhou, ICDE
+// 2016), task placement, and failure bookkeeping for single-node and
+// correlated failures.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// NodeID identifies a node.
+type NodeID int
+
+// Node is one machine of the simulated cluster.
+type Node struct {
+	ID      NodeID
+	Standby bool
+	Failed  bool
+}
+
+// Cluster is a set of nodes with a task placement. Primary tasks live on
+// processing nodes; checkpoints and active replicas live on standby
+// nodes (§V-A).
+type Cluster struct {
+	nodes     []*Node
+	placement map[topology.TaskID]NodeID // primary task -> processing node
+	replicaOn map[topology.TaskID]NodeID // replicated task -> standby node
+}
+
+// New builds a cluster with the given number of processing and standby
+// nodes.
+func New(processing, standby int) *Cluster {
+	c := &Cluster{
+		placement: make(map[topology.TaskID]NodeID),
+		replicaOn: make(map[topology.TaskID]NodeID),
+	}
+	for i := 0; i < processing; i++ {
+		c.nodes = append(c.nodes, &Node{ID: NodeID(i)})
+	}
+	for i := 0; i < standby; i++ {
+		c.nodes = append(c.nodes, &Node{ID: NodeID(processing + i), Standby: true})
+	}
+	return c
+}
+
+// Nodes returns all nodes. The returned slice must not be modified.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// ProcessingNodes returns the non-standby nodes.
+func (c *Cluster) ProcessingNodes() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if !n.Standby {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// StandbyNodes returns the standby nodes.
+func (c *Cluster) StandbyNodes() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if n.Standby {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+// PlaceRoundRobin distributes the topology's tasks over the processing
+// nodes in round-robin order, the default placement of the experiments
+// ("the primary replicas of the tasks are evenly distributed among the
+// nodes").
+func (c *Cluster) PlaceRoundRobin(t *topology.Topology) error {
+	proc := c.ProcessingNodes()
+	if len(proc) == 0 {
+		return fmt.Errorf("cluster: no processing nodes")
+	}
+	for i, task := range t.Tasks {
+		c.placement[task.ID] = proc[i%len(proc)].ID
+	}
+	return nil
+}
+
+// Place assigns a primary task to a node.
+func (c *Cluster) Place(id topology.TaskID, node NodeID) {
+	c.placement[id] = node
+}
+
+// NodeOf returns the node hosting the primary of the task.
+func (c *Cluster) NodeOf(id topology.TaskID) NodeID { return c.placement[id] }
+
+// PlaceReplicasRoundRobin distributes active replicas of the given tasks
+// over the standby nodes.
+func (c *Cluster) PlaceReplicasRoundRobin(tasks []topology.TaskID) error {
+	standby := c.StandbyNodes()
+	if len(standby) == 0 && len(tasks) > 0 {
+		return fmt.Errorf("cluster: no standby nodes for %d replicas", len(tasks))
+	}
+	sorted := append([]topology.TaskID(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, id := range sorted {
+		c.replicaOn[id] = standby[i%len(standby)].ID
+	}
+	return nil
+}
+
+// ReplicaNodeOf returns the standby node hosting the task's active
+// replica, if any.
+func (c *Cluster) ReplicaNodeOf(id topology.TaskID) (NodeID, bool) {
+	n, ok := c.replicaOn[id]
+	return n, ok
+}
+
+// FailNode marks a node failed and returns the primary tasks that were
+// running on it, in ascending task order.
+func (c *Cluster) FailNode(id NodeID) []topology.TaskID {
+	n := c.Node(id)
+	if n == nil || n.Failed {
+		return nil
+	}
+	n.Failed = true
+	var out []topology.TaskID
+	for task, node := range c.placement {
+		if node == id {
+			out = append(out, task)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FailAllProcessing marks every processing node failed — the paper's
+// correlated-failure injection ("killing all the nodes on which the
+// primary replicas of the tasks are deployed") — and returns all
+// affected tasks.
+func (c *Cluster) FailAllProcessing() []topology.TaskID {
+	var out []topology.TaskID
+	for _, n := range c.ProcessingNodes() {
+		out = append(out, c.FailNode(n.ID)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RestoreNode clears a node's failed flag (after repair).
+func (c *Cluster) RestoreNode(id NodeID) {
+	if n := c.Node(id); n != nil {
+		n.Failed = false
+	}
+}
+
+// FailedNodes returns the IDs of currently failed nodes.
+func (c *Cluster) FailedNodes() []NodeID {
+	var out []NodeID
+	for _, n := range c.nodes {
+		if n.Failed {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}

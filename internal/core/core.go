@@ -1,0 +1,154 @@
+// Package core implements the PPA plan manager — the orchestrating
+// component of Su & Zhou (ICDE 2016): given a query topology and an
+// active-replication resource budget, it produces a PPA replication
+// plan (checkpoints for every task plus active replicas for a selected
+// subset chosen by one of the §IV algorithms), exposes the plan's
+// predicted quality metrics (OF, IC), converts plans into per-task
+// engine strategies, and supports dynamic plan adaptation (§V-C) by
+// diffing successive plans.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/topology"
+)
+
+// Algorithm selects the partially-active-plan optimiser.
+type Algorithm int
+
+const (
+	// AlgorithmSA is the structure-aware planner (Alg. 5), the paper's
+	// recommended choice for general topologies.
+	AlgorithmSA Algorithm = iota
+	// AlgorithmDP is the optimal dynamic programming planner (Alg. 1);
+	// exponential in the number of MC-trees.
+	AlgorithmDP
+	// AlgorithmGreedy is the task-level greedy baseline (Alg. 2).
+	AlgorithmGreedy
+	// AlgorithmSAIC is the structure-aware planner optimising the IC
+	// metric instead of OF — the paper's Fig. 12 "SA algorithm with IC
+	// as the optimization metric".
+	AlgorithmSAIC
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmDP:
+		return "DP"
+	case AlgorithmGreedy:
+		return "Greedy"
+	case AlgorithmSAIC:
+		return "SA-IC"
+	default:
+		return "SA"
+	}
+}
+
+// Result is a computed PPA replication plan with its predicted quality.
+type Result struct {
+	Algorithm Algorithm
+	Budget    int
+	Plan      plan.Plan
+	// OF is the worst-case Output Fidelity of the plan (Eq. 4 under the
+	// §IV correlated-failure assumption).
+	OF float64
+	// IC is the worst-case Internal Completeness (the EDBT'14 baseline
+	// metric).
+	IC float64
+}
+
+// Manager plans PPA replication for one topology.
+type Manager struct {
+	topo *topology.Topology
+	ctx  *plan.Context
+}
+
+// NewManager builds a plan manager for the topology.
+func NewManager(t *topology.Topology) *Manager {
+	return &Manager{topo: t, ctx: plan.NewContext(t)}
+}
+
+// Topology returns the managed topology.
+func (m *Manager) Topology() *topology.Topology { return m.topo }
+
+// Context exposes the planning context (for custom evaluation).
+func (m *Manager) Context() *plan.Context { return m.ctx }
+
+// BudgetForFraction converts a replication ratio (e.g. 0.5 for PPA-0.5)
+// into a task budget.
+func (m *Manager) BudgetForFraction(frac float64) int {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return int(math.Round(frac * float64(m.topo.NumTasks())))
+}
+
+// Plan computes a partially active replication plan with the given
+// algorithm and budget (number of actively replicated tasks).
+func (m *Manager) Plan(alg Algorithm, budget int) (Result, error) {
+	var p plan.Plan
+	var err error
+	switch alg {
+	case AlgorithmDP:
+		p, err = plan.DynamicProgramming(m.ctx, budget, plan.DPOptions{})
+	case AlgorithmGreedy:
+		p = plan.Greedy(m.ctx, budget)
+	case AlgorithmSAIC:
+		p, err = plan.StructureAware(m.ctx, budget, plan.SAOptions{Metric: plan.MetricIC})
+	case AlgorithmSA:
+		p, err = plan.StructureAware(m.ctx, budget, plan.SAOptions{})
+	default:
+		return Result{}, fmt.Errorf("core: unknown algorithm %d", alg)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s planning: %w", alg, err)
+	}
+	return Result{
+		Algorithm: alg,
+		Budget:    budget,
+		Plan:      p,
+		OF:        m.ctx.OF(p),
+		IC:        m.ctx.IC(p),
+	}, nil
+}
+
+// Strategies converts a plan into the per-task engine strategy vector:
+// tasks in the plan get active replicas, all others use the passive
+// default (checkpoints are taken for every task regardless — PPA's
+// passive layer covers the whole set M).
+func (m *Manager) Strategies(p plan.Plan, passive engine.Strategy) []engine.Strategy {
+	out := make([]engine.Strategy, m.topo.NumTasks())
+	for i := range out {
+		if p.Has(topology.TaskID(i)) {
+			out[i] = engine.StrategyActive
+		} else {
+			out[i] = passive
+		}
+	}
+	return out
+}
+
+// Diff computes the dynamic-plan-adaptation delta of §V-C: which tasks
+// need a new active replica and which replicas can be deactivated when
+// switching from the old plan to the new one.
+func Diff(old, new plan.Plan) (activate, deactivate []topology.TaskID) {
+	for _, id := range new.Tasks() {
+		if !old.Has(id) {
+			activate = append(activate, id)
+		}
+	}
+	for _, id := range old.Tasks() {
+		if !new.Has(id) {
+			deactivate = append(deactivate, id)
+		}
+	}
+	return activate, deactivate
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/topology"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder()
+	src := b.AddSource("src", 2, 100)
+	mid := b.AddOperator("mid", 2, topology.Independent, 1)
+	snk := b.AddOperator("sink", 1, topology.Independent, 1)
+	b.Connect(src, mid, topology.OneToOne)
+	b.Connect(mid, snk, topology.Merge)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestPlanAlgorithms(t *testing.T) {
+	m := NewManager(testTopo(t))
+	for _, alg := range []Algorithm{AlgorithmSA, AlgorithmDP, AlgorithmGreedy, AlgorithmSAIC} {
+		res, err := m.Plan(alg, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.Plan.Size() > 3 {
+			t.Errorf("%s used %d tasks over budget 3", alg, res.Plan.Size())
+		}
+		if res.OF < 0 || res.OF > 1 || res.IC < 0 || res.IC > 1 {
+			t.Errorf("%s: OF=%v IC=%v out of range", alg, res.OF, res.IC)
+		}
+	}
+	if _, err := m.Plan(Algorithm(99), 3); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestDPDominates(t *testing.T) {
+	m := NewManager(testTopo(t))
+	for budget := 0; budget <= 5; budget++ {
+		dp, err := m.Plan(AlgorithmDP, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := m.Plan(AlgorithmSA, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := m.Plan(AlgorithmGreedy, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.OF > dp.OF+1e-12 || g.OF > dp.OF+1e-12 {
+			t.Errorf("budget %d: DP OF %v beaten by SA %v or Greedy %v", budget, dp.OF, sa.OF, g.OF)
+		}
+	}
+}
+
+func TestSAICOptimisesIC(t *testing.T) {
+	m := NewManager(testTopo(t))
+	ic, err := m.Plan(AlgorithmSAIC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.IC <= 0 {
+		t.Errorf("SA-IC plan has IC %v, want > 0 at budget 3", ic.IC)
+	}
+	// At a moderate budget the IC-optimised plan's IC should be at
+	// least the OF-optimised plan's IC.
+	icPlan, err := m.Plan(AlgorithmSAIC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ofPlan, err := m.Plan(AlgorithmSA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if icPlan.IC < ofPlan.IC-1e-9 {
+		t.Errorf("SA-IC plan IC %v below SA plan IC %v", icPlan.IC, ofPlan.IC)
+	}
+}
+
+func TestBudgetForFraction(t *testing.T) {
+	m := NewManager(testTopo(t)) // 5 tasks
+	cases := map[float64]int{0: 0, 0.5: 3, 1: 5, -1: 0, 2: 5}
+	for frac, want := range cases {
+		if got := m.BudgetForFraction(frac); got != want {
+			t.Errorf("BudgetForFraction(%v) = %d, want %d", frac, got, want)
+		}
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	m := NewManager(testTopo(t))
+	res, err := m.Plan(AlgorithmSA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strats := m.Strategies(res.Plan, engine.StrategyCheckpoint)
+	if len(strats) != 5 {
+		t.Fatalf("strategies len = %d", len(strats))
+	}
+	active := 0
+	for i, s := range strats {
+		if res.Plan.Has(topology.TaskID(i)) {
+			if s != engine.StrategyActive {
+				t.Errorf("task %d in plan but strategy %v", i, s)
+			}
+			active++
+		} else if s != engine.StrategyCheckpoint {
+			t.Errorf("task %d not in plan but strategy %v", i, s)
+		}
+	}
+	if active != res.Plan.Size() {
+		t.Errorf("%d active strategies, plan size %d", active, res.Plan.Size())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	m := NewManager(testTopo(t))
+	old, err := m.Plan(AlgorithmSA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := m.Plan(AlgorithmSA, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activate, deactivate := Diff(old.Plan, newRes.Plan)
+	for _, id := range activate {
+		if old.Plan.Has(id) || !newRes.Plan.Has(id) {
+			t.Errorf("activate %d wrong", id)
+		}
+	}
+	for _, id := range deactivate {
+		if !old.Plan.Has(id) || newRes.Plan.Has(id) {
+			t.Errorf("deactivate %d wrong", id)
+		}
+	}
+	// Self-diff is empty.
+	a, d := Diff(old.Plan, old.Plan)
+	if len(a) != 0 || len(d) != 0 {
+		t.Errorf("self diff = %v / %v", a, d)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	want := map[Algorithm]string{
+		AlgorithmSA: "SA", AlgorithmDP: "DP",
+		AlgorithmGreedy: "Greedy", AlgorithmSAIC: "SA-IC",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+}

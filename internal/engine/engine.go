@@ -1,0 +1,362 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Setup describes an engine instance.
+type Setup struct {
+	Topology *topology.Topology
+	Cluster  *cluster.Cluster
+	Config   Config
+	// Sources maps each source operator index to its source factory.
+	Sources map[int]SourceFactory
+	// Operators maps each non-source operator index to its UDF factory.
+	Operators map[int]OperatorFactory
+	// Strategies selects the fault-tolerance technique per task; nil
+	// means StrategyCheckpoint for every task.
+	Strategies []Strategy
+}
+
+// Engine executes a topology on the discrete-event kernel, implementing
+// the PPA fault-tolerance framework of §V.
+type Engine struct {
+	topo      *topology.Topology
+	clus      *cluster.Cluster
+	cfg       Config
+	clock     *sim.Clock
+	sources   map[int]SourceFactory
+	operators map[int]OperatorFactory
+	strategy  []Strategy
+
+	tasks    []*taskRuntime // current primary incarnation per task
+	replicas []*taskRuntime // active replica per task (nil if none)
+
+	master *master
+	store  map[topology.TaskID]*checkpointData
+
+	sinks        []SinkRecord
+	currentBatch int // last batch emitted by the source ticker
+	horizon      sim.Time
+}
+
+// checkpointData is one stored checkpoint: computation state plus the
+// output buffer (§II-B).
+type checkpointData struct {
+	batch  int
+	state  []byte
+	outBuf map[topology.TaskID]map[int]Batch
+	bytes  int
+}
+
+// New builds an engine. Placement must already be set on the cluster (or
+// use cluster.PlaceRoundRobin); replicas for StrategyActive tasks are
+// placed on standby nodes automatically if not placed.
+func New(s Setup) (*Engine, error) {
+	if s.Topology == nil {
+		return nil, fmt.Errorf("engine: no topology")
+	}
+	cfg := s.Config.withDefaults()
+	e := &Engine{
+		topo:      s.Topology,
+		clus:      s.Cluster,
+		cfg:       cfg,
+		clock:     sim.NewClock(),
+		sources:   s.Sources,
+		operators: s.Operators,
+		store:     make(map[topology.TaskID]*checkpointData),
+	}
+	if e.clus == nil {
+		e.clus = cluster.New(1, 1)
+		if err := e.clus.PlaceRoundRobin(e.topo); err != nil {
+			return nil, err
+		}
+	}
+	for _, op := range e.topo.SourceOps() {
+		if _, ok := e.sources[op]; !ok {
+			return nil, fmt.Errorf("engine: no source factory for operator %s", e.topo.Ops[op].Name)
+		}
+	}
+	for op := range e.topo.Ops {
+		if e.topo.IsSource(op) {
+			continue
+		}
+		if _, ok := e.operators[op]; !ok {
+			return nil, fmt.Errorf("engine: no operator factory for %s", e.topo.Ops[op].Name)
+		}
+	}
+	n := e.topo.NumTasks()
+	e.strategy = make([]Strategy, n)
+	if s.Strategies != nil {
+		if len(s.Strategies) != n {
+			return nil, fmt.Errorf("engine: %d strategies for %d tasks", len(s.Strategies), n)
+		}
+		copy(e.strategy, s.Strategies)
+	}
+	e.tasks = make([]*taskRuntime, n)
+	e.replicas = make([]*taskRuntime, n)
+	var replicated []topology.TaskID
+	for id := 0; id < n; id++ {
+		tid := topology.TaskID(id)
+		e.tasks[id] = newTaskRuntime(e, tid, false)
+		if e.strategy[id] == StrategyActive {
+			e.replicas[id] = newTaskRuntime(e, tid, true)
+			replicated = append(replicated, tid)
+		}
+	}
+	if len(replicated) > 0 {
+		if err := e.clus.PlaceReplicasRoundRobin(replicated); err != nil {
+			return nil, err
+		}
+	}
+	e.master = newMaster(e)
+	// Arm the self-perpetuating tickers once; Run only advances the
+	// clock, so ticker events beyond the horizon simply wait.
+	e.scheduleBatchTick(0)
+	e.scheduleHeartbeat(e.cfg.HeartbeatInterval)
+	if e.cfg.CheckpointInterval > 0 {
+		e.scheduleCheckpoints()
+	}
+	e.scheduleReplicaTrims()
+	return e, nil
+}
+
+// Clock exposes the virtual clock (to schedule custom events in tests
+// and experiments).
+func (e *Engine) Clock() *sim.Clock { return e.clock }
+
+// Config returns the effective configuration (defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Topology returns the executed topology.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// PPAPlanTasks returns the tasks protected by active replication.
+func (e *Engine) PPAPlanTasks() []topology.TaskID {
+	var out []topology.TaskID
+	for id, st := range e.strategy {
+		if st == StrategyActive {
+			out = append(out, topology.TaskID(id))
+		}
+	}
+	return out
+}
+
+// deliver schedules the delivery of a batch fragment (and punctuation)
+// from one task to another after the network delay. The current primary
+// incarnation and the replica of the destination both receive it.
+func (e *Engine) deliver(from, to topology.TaskID, batch int, content Batch, punct, fab bool) {
+	e.clock.After(e.cfg.NetDelay, func() {
+		if rt := e.tasks[to]; rt != nil {
+			rt.receive(from, batch, content, punct, fab)
+		}
+		if rep := e.replicas[to]; rep != nil {
+			rep.receive(from, batch, content, punct, fab)
+		}
+	})
+}
+
+// Run advances the simulation to the given virtual time, driving source
+// batches, heartbeats, checkpoints and replica trims. Run may be called
+// repeatedly with increasing times.
+func (e *Engine) Run(until sim.Time) {
+	if until > e.horizon {
+		e.horizon = until
+	}
+	e.clock.RunUntil(until)
+}
+
+// scheduleBatchTick arms the source batch ticker: batch b is emitted at
+// its end boundary (b+1)*BatchInterval.
+func (e *Engine) scheduleBatchTick(b int) {
+	at := sim.Time(float64(b+1)) * e.cfg.BatchInterval
+	e.clock.At(at, func() {
+		e.currentBatch = b
+		for _, op := range e.topo.SourceOps() {
+			for _, id := range e.topo.TasksOf(op) {
+				rt := e.tasks[id]
+				if rt != nil && !rt.failed && rt.isSource {
+					rt.emitSourceBatch(b)
+				}
+			}
+		}
+		e.master.fabricate()
+		e.scheduleBatchTick(b + 1)
+	})
+}
+
+func (e *Engine) scheduleHeartbeat(at sim.Time) {
+	e.clock.At(at, func() {
+		e.master.heartbeat()
+		e.scheduleHeartbeat(at + e.cfg.HeartbeatInterval)
+	})
+}
+
+// scheduleCheckpoints arms the per-task checkpoint timers. Offsets are
+// scattered deterministically (golden-ratio hashing of the task id) so
+// that checkpoints are asynchronous and uncorrelated across tasks, as
+// in real deployments — the source of the §V-B synchronisation cost
+// when recovering correlated failures.
+func (e *Engine) scheduleCheckpoints() {
+	n := e.topo.NumTasks()
+	for id := 0; id < n; id++ {
+		tid := topology.TaskID(id)
+		if e.strategy[id] == StrategySourceReplay {
+			continue // Storm mode keeps no checkpoints
+		}
+		frac := float64(id+1) * 0.6180339887498949
+		frac -= float64(int(frac))
+		offset := e.cfg.CheckpointInterval * sim.Time(frac)
+		at := e.clock.Now() + offset
+		e.scheduleCheckpoint(tid, at)
+	}
+}
+
+func (e *Engine) scheduleCheckpoint(id topology.TaskID, at sim.Time) {
+	e.clock.At(at, func() {
+		e.takeCheckpoint(id)
+		e.scheduleCheckpoint(id, at+e.cfg.CheckpointInterval)
+	})
+}
+
+// takeCheckpoint snapshots one task's state and output buffer, charges
+// the save cost, stores the checkpoint on the standby store and asks the
+// upstream tasks to trim their output buffers (§II-B, §V-B).
+func (e *Engine) takeCheckpoint(id topology.TaskID) {
+	rt := e.tasks[id]
+	if rt == nil || rt.failed {
+		return
+	}
+	state := rt.snapshotState()
+	outCopy := make(map[topology.TaskID]map[int]Batch, len(rt.outBuf))
+	bytes := len(state)
+	for d, buf := range rt.outBuf {
+		m := make(map[int]Batch, len(buf))
+		for b, content := range buf {
+			m[b] = content
+			bytes += content.Count * 16 // buffered tuples are part of the checkpoint payload
+		}
+		outCopy[d] = m
+	}
+	cost := e.cfg.CheckpointFixed + sim.Time(float64(bytes)/e.cfg.CheckpointByteRate)
+	rt.busyUntil = maxTime(rt.busyUntil, e.clock.Now()) + cost
+	rt.ckptCPU += cost
+	e.store[id] = &checkpointData{batch: rt.processedBatch, state: state, outBuf: outCopy, bytes: bytes}
+
+	// Notify upstream neighbours (and their replicas, which hold the
+	// same buffers) to trim their buffers for this task.
+	ck := rt.processedBatch
+	for _, u := range rt.upstreams {
+		u := u
+		e.clock.After(e.cfg.NetDelay, func() {
+			if up := e.tasks[u]; up != nil && !up.failed {
+				up.trimFor(id, ck)
+			}
+			if rep := e.replicas[u]; rep != nil && !rep.failed {
+				rep.trimFor(id, ck)
+			}
+		})
+	}
+}
+
+// scheduleReplicaTrims arms the periodic primary->replica progress acks.
+func (e *Engine) scheduleReplicaTrims() {
+	for id := range e.replicas {
+		if e.replicas[id] == nil {
+			continue
+		}
+		tid := topology.TaskID(id)
+		e.scheduleReplicaTrim(tid, e.clock.Now()+e.cfg.ReplicaTrimInterval)
+	}
+}
+
+func (e *Engine) scheduleReplicaTrim(id topology.TaskID, at sim.Time) {
+	e.clock.At(at, func() {
+		rep := e.replicas[id]
+		prim := e.tasks[id]
+		if rep != nil && prim != nil && !prim.failed && rep.isReplica {
+			rep.ackAndTrim(prim.processedBatch, e.cfg.CheckpointInterval > 0)
+		}
+		e.scheduleReplicaTrim(id, at+e.cfg.ReplicaTrimInterval)
+	})
+}
+
+// ScheduleNodeFailure injects a node failure at the given virtual time.
+func (e *Engine) ScheduleNodeFailure(node cluster.NodeID, at sim.Time) {
+	e.clock.At(at, func() {
+		ids := e.clus.FailNode(node)
+		e.failTasks(ids)
+	})
+}
+
+// ScheduleCorrelatedFailure fails every processing node at the given
+// time — the paper's correlated-failure injection.
+func (e *Engine) ScheduleCorrelatedFailure(at sim.Time) {
+	e.clock.At(at, func() {
+		ids := e.clus.FailAllProcessing()
+		e.failTasks(ids)
+	})
+}
+
+// ScheduleTaskFailures fails a specific set of tasks at the given time
+// (independent of node placement), useful for targeted experiments.
+func (e *Engine) ScheduleTaskFailures(ids []topology.TaskID, at sim.Time) {
+	sorted := append([]topology.TaskID(nil), ids...)
+	sortIDs(sorted)
+	e.clock.At(at, func() { e.failTasks(sorted) })
+}
+
+func (e *Engine) failTasks(ids []topology.TaskID) {
+	for _, id := range ids {
+		rt := e.tasks[id]
+		if rt == nil || rt.failed {
+			continue
+		}
+		rt.failed = true
+		e.master.onFailure(id, rt)
+	}
+}
+
+// SinkRecords returns all outputs observed at sink tasks so far.
+func (e *Engine) SinkRecords() []SinkRecord { return e.sinks }
+
+// RecoveryStats returns per-task failure/recovery measurements, sorted
+// by task ID.
+func (e *Engine) RecoveryStats() []RecoveryStat {
+	return e.master.stats()
+}
+
+// CPUStats returns per-task cumulative processing and checkpointing CPU
+// time; the checkpoint/processing ratio reproduces Fig. 9.
+type CPUStat struct {
+	Task    topology.TaskID
+	ProcCPU sim.Time
+	CkptCPU sim.Time
+}
+
+// CPUStats returns per-task CPU accounting, sorted by task ID.
+func (e *Engine) CPUStats() []CPUStat {
+	out := make([]CPUStat, 0, len(e.tasks))
+	for id, rt := range e.tasks {
+		if rt == nil {
+			continue
+		}
+		out = append(out, CPUStat{Task: topology.TaskID(id), ProcCPU: rt.procCPU, CkptCPU: rt.ckptCPU})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// TaskProgress returns the last fully processed batch of the task's
+// current incarnation.
+func (e *Engine) TaskProgress(id topology.TaskID) int {
+	if rt := e.tasks[id]; rt != nil {
+		return rt.processedBatch
+	}
+	return -1
+}

@@ -1,0 +1,553 @@
+package engine
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// route is the fan-out of one task along one operator edge.
+type route struct {
+	downOp     int
+	recipients []topology.TaskID
+	weights    []float64
+	weightSum  float64
+}
+
+// taskRuntime is one incarnation of a task (primary or active replica).
+// A task that fails and recovers gets a fresh incarnation; stale events
+// of the old incarnation are fenced by the failed flag and the epoch
+// counter.
+type taskRuntime struct {
+	eng       *Engine
+	id        topology.TaskID
+	opIdx     int
+	taskIndex int
+	isSource  bool
+	src       SourceFunc
+	udf       OperatorFunc
+	isReplica bool
+	failed    bool
+	// recovering is set while the incarnation works to reach the failed
+	// predecessor's progress.
+	recovering bool
+	epoch      int
+
+	upstreams []topology.TaskID
+	upOp      map[topology.TaskID]int
+	routes    []route
+
+	staged     map[int]map[topology.TaskID]*Batch
+	puncts     map[int]map[topology.TaskID]bool
+	fabricated map[int]bool
+	nextBatch  int
+	// processedBatch is the progress measure: the last batch fully
+	// processed (§VI's progress vector collapses to the batch index
+	// under the batch discipline).
+	processedBatch int
+	busyUntil      sim.Time
+	procScheduled  bool
+
+	// outBuf buffers emitted batches per downstream task for replay
+	// (§II-B); trimmed when the downstream checkpoints.
+	outBuf map[topology.TaskID]map[int]Batch
+	// ckptBound tracks, per downstream task, the last batch covered by
+	// a downstream checkpoint: buffered output up to it can never be
+	// requested for replay again.
+	ckptBound map[topology.TaskID]int
+	// ackBatch is, on a replica, the primary's output progress at the
+	// last periodic ack (§V-B): the take-over resend covers only later
+	// batches.
+	ackBatch int
+	// tupleProgress counts processed tuples per upstream task
+	// (auxiliary fine-grained progress, used in tests).
+	tupleProgress map[topology.TaskID]int64
+
+	procCPU sim.Time
+	ckptCPU sim.Time
+
+	// emit staging during batch processing
+	emitting map[topology.TaskID]*Batch
+	sinkOut  []Tuple
+}
+
+func newTaskRuntime(e *Engine, id topology.TaskID, isReplica bool) *taskRuntime {
+	t := e.topo
+	task := t.Tasks[id]
+	rt := &taskRuntime{
+		eng:            e,
+		id:             id,
+		opIdx:          task.Op,
+		taskIndex:      task.Index,
+		isSource:       t.IsSource(task.Op),
+		isReplica:      isReplica,
+		upOp:           make(map[topology.TaskID]int),
+		staged:         make(map[int]map[topology.TaskID]*Batch),
+		puncts:         make(map[int]map[topology.TaskID]bool),
+		fabricated:     make(map[int]bool),
+		outBuf:         make(map[topology.TaskID]map[int]Batch),
+		ckptBound:      make(map[topology.TaskID]int),
+		tupleProgress:  make(map[topology.TaskID]int64),
+		processedBatch: -1,
+		ackBatch:       -1,
+	}
+	for _, in := range t.InputsOf(id) {
+		for _, sub := range in.Subs {
+			rt.upstreams = append(rt.upstreams, sub.From)
+			rt.upOp[sub.From] = in.FromOp
+		}
+	}
+	sort.Slice(rt.upstreams, func(i, j int) bool { return rt.upstreams[i] < rt.upstreams[j] })
+
+	// Group outgoing substreams into per-operator routes.
+	byOp := map[int]*route{}
+	var ops []int
+	for _, sub := range t.OutputsOf(id) {
+		downOp := t.Tasks[sub.To].Op
+		r, ok := byOp[downOp]
+		if !ok {
+			r = &route{downOp: downOp}
+			byOp[downOp] = r
+			ops = append(ops, downOp)
+		}
+		r.recipients = append(r.recipients, sub.To)
+		w := t.Weight(sub.To)
+		r.weights = append(r.weights, w)
+		r.weightSum += w
+	}
+	sort.Ints(ops)
+	for _, op := range ops {
+		rt.routes = append(rt.routes, *byOp[op])
+	}
+
+	if rt.isSource {
+		rt.src = e.sources[task.Op](task.Index)
+	} else {
+		rt.udf = e.operators[task.Op](task.Index)
+	}
+	return rt
+}
+
+// receive stages an incoming batch fragment; duplicates of already
+// processed batches are dropped (the dedup that skips replayed and
+// replica-duplicated output, §V-B).
+func (rt *taskRuntime) receive(from topology.TaskID, batch int, content Batch, punct, fab bool) {
+	if rt.failed || rt.isSource {
+		return
+	}
+	if batch < rt.nextBatch {
+		return
+	}
+	if _, known := rt.upOp[from]; !known {
+		return
+	}
+	if content.Count > 0 {
+		m := rt.staged[batch]
+		if m == nil {
+			m = make(map[topology.TaskID]*Batch)
+			rt.staged[batch] = m
+		}
+		b := m[from]
+		if b == nil {
+			b = &Batch{}
+			m[from] = b
+		}
+		b.Append(content)
+	}
+	if punct {
+		m := rt.puncts[batch]
+		if m == nil {
+			m = make(map[topology.TaskID]bool)
+			rt.puncts[batch] = m
+		}
+		if !m[from] {
+			m[from] = true
+			if fab {
+				rt.fabricated[batch] = true
+			}
+		}
+	}
+	rt.tryProcess()
+}
+
+// ready reports whether every upstream punctuation for the batch is in.
+func (rt *taskRuntime) ready(batch int) bool {
+	m := rt.puncts[batch]
+	if len(m) < len(rt.upstreams) {
+		return false
+	}
+	for _, u := range rt.upstreams {
+		if !m[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryProcess schedules processing of the next batch when it is ready.
+// A task processes one batch at a time (§V-B): the start waits for
+// busyUntil and the cost follows the Config cost model.
+func (rt *taskRuntime) tryProcess() {
+	if rt.failed || rt.procScheduled || rt.isSource {
+		return
+	}
+	b := rt.nextBatch
+	if !rt.ready(b) {
+		return
+	}
+	total := 0
+	for _, in := range rt.staged[b] {
+		total += in.Count
+	}
+	cost := rt.eng.cfg.PerBatchOverhead + sim.Time(float64(total)/rt.eng.cfg.ProcRate)
+	now := rt.eng.clock.Now()
+	start := now
+	if rt.busyUntil > start {
+		start = rt.busyUntil
+	}
+	rt.busyUntil = start + cost
+	rt.procScheduled = true
+	epoch := rt.epoch
+	rt.eng.clock.At(start+cost, func() {
+		if rt.failed || rt.epoch != epoch {
+			return
+		}
+		rt.completeBatch(b, cost)
+	})
+}
+
+// completeBatch runs the UDF over the staged input of batch b, emits and
+// buffers the outputs, and advances progress.
+func (rt *taskRuntime) completeBatch(b int, cost sim.Time) {
+	rt.procScheduled = false
+	rt.procCPU += cost
+	rt.beginEmit()
+	staged := rt.staged[b]
+	for _, u := range rt.upstreams {
+		var in Batch
+		if sb := staged[u]; sb != nil {
+			in = *sb
+		}
+		rt.udf.ProcessBatch(b, rt.upOp[u], in, rt)
+		rt.tupleProgress[u] += int64(in.Count)
+	}
+	rt.udf.OnBatchEnd(b, rt)
+	rt.finishEmit(b)
+	delete(rt.staged, b)
+	delete(rt.puncts, b)
+	tentative := rt.fabricated[b]
+	delete(rt.fabricated, b)
+	rt.nextBatch = b + 1
+	rt.processedBatch = b
+	if rt.eng.topo.IsSink(rt.opIdx) && !rt.isReplica {
+		for _, t := range rt.sinkOut {
+			rt.eng.sinks = append(rt.eng.sinks, SinkRecord{Task: rt.id, Batch: b, Tuple: t, Tentative: tentative})
+		}
+	}
+	rt.sinkOut = nil
+	if rt.recovering {
+		rt.eng.master.checkRecovered(rt)
+	}
+	rt.tryProcess()
+}
+
+// Emit implements Emitter: route one materialised tuple by key hash.
+func (rt *taskRuntime) Emit(t Tuple) {
+	if len(rt.routes) == 0 {
+		rt.sinkOut = append(rt.sinkOut, t)
+		return
+	}
+	for i := range rt.routes {
+		r := &rt.routes[i]
+		idx := int(hashKey(t.Key) % uint64(len(r.recipients)))
+		rt.stageEmit(r.recipients[idx], Batch{Count: 1, Tuples: []Tuple{t}})
+	}
+}
+
+// EmitCount implements Emitter: distribute n unmaterialised tuples over
+// each route proportionally to the recipients' workload weights, with
+// deterministic cumulative rounding.
+func (rt *taskRuntime) EmitCount(n int) {
+	if n <= 0 {
+		return
+	}
+	if len(rt.routes) == 0 {
+		return
+	}
+	for i := range rt.routes {
+		r := &rt.routes[i]
+		var cum, prevRounded float64
+		for j, rec := range r.recipients {
+			cum += float64(n) * r.weights[j] / r.weightSum
+			rounded := float64(int(cum + 0.5))
+			share := int(rounded - prevRounded)
+			prevRounded = rounded
+			if share > 0 {
+				rt.stageEmit(rec, Batch{Count: share})
+			}
+		}
+	}
+}
+
+func (rt *taskRuntime) beginEmit() {
+	rt.emitting = make(map[topology.TaskID]*Batch)
+}
+
+func (rt *taskRuntime) stageEmit(to topology.TaskID, content Batch) {
+	b := rt.emitting[to]
+	if b == nil {
+		b = &Batch{}
+		rt.emitting[to] = b
+	}
+	b.Append(content)
+}
+
+// finishEmit buffers the batch outputs and, on a primary, delivers them
+// with batch-over punctuations to every downstream task.
+func (rt *taskRuntime) finishEmit(batch int) {
+	for i := range rt.routes {
+		r := &rt.routes[i]
+		for _, rec := range r.recipients {
+			var content Batch
+			if b := rt.emitting[rec]; b != nil {
+				content = *b
+			}
+			buf := rt.outBuf[rec]
+			if buf == nil {
+				buf = make(map[int]Batch)
+				rt.outBuf[rec] = buf
+			}
+			buf[batch] = content
+			if !rt.isReplica {
+				rt.eng.deliver(rt.id, rec, batch, content, true, false)
+			}
+		}
+	}
+	rt.emitting = nil
+}
+
+// emitSourceBatch generates and sends one source batch (the source task
+// path; no UDF).
+func (rt *taskRuntime) emitSourceBatch(b int) {
+	if rt.failed || !rt.isSource || b < rt.nextBatch {
+		return
+	}
+	content := rt.src.BatchAt(b)
+	rt.beginEmit()
+	if len(content.Tuples) > 0 {
+		for _, t := range content.Tuples {
+			rt.Emit(t)
+		}
+		if extra := content.Count - len(content.Tuples); extra > 0 {
+			rt.EmitCount(extra)
+		}
+	} else {
+		rt.EmitCount(content.Count)
+	}
+	rt.finishEmit(b)
+	rt.tupleProgress[rt.id] += int64(content.Count)
+	rt.nextBatch = b + 1
+	rt.processedBatch = b
+	if rt.recovering {
+		rt.eng.master.checkRecovered(rt)
+	}
+}
+
+// catchUpSource regenerates all batches from nextBatch through target
+// (inclusive), used after source recovery and for source replay.
+func (rt *taskRuntime) catchUpSource(target int) {
+	for b := rt.nextBatch; b <= target; b++ {
+		rt.emitSourceBatch(b)
+	}
+}
+
+// resendAll redelivers every buffered output batch to the downstream
+// tasks (buffer replay after a restore; duplicates are dropped by the
+// receivers). The cost is charged at ResendRate.
+func (rt *taskRuntime) resendAll() {
+	if rt.failed {
+		return
+	}
+	total := 0
+	for _, rec := range rt.downstreamIDs() {
+		buf := rt.outBuf[rec]
+		batches := make([]int, 0, len(buf))
+		for b := range buf {
+			batches = append(batches, b)
+		}
+		sort.Ints(batches)
+		for _, b := range batches {
+			rt.eng.deliver(rt.id, rec, b, buf[b], true, false)
+			total += buf[b].Count
+		}
+	}
+	if total > 0 {
+		rt.busyUntil = maxTime(rt.busyUntil, rt.eng.clock.Now()) + sim.Time(float64(total)/rt.eng.cfg.ResendRate)
+	}
+}
+
+func (rt *taskRuntime) downstreamIDs() []topology.TaskID {
+	var out []topology.TaskID
+	for i := range rt.routes {
+		out = append(out, rt.routes[i].recipients...)
+	}
+	sortIDs(out)
+	return out
+}
+
+// trimFor drops buffered output for one downstream task up to and
+// including the given batch (invoked when the downstream checkpoints,
+// §II-B) and records the checkpoint bound.
+func (rt *taskRuntime) trimFor(down topology.TaskID, upTo int) {
+	if cur, ok := rt.ckptBound[down]; !ok || upTo > cur {
+		rt.ckptBound[down] = upTo
+	}
+	buf := rt.outBuf[down]
+	for b := range buf {
+		if b <= upTo {
+			delete(buf, b)
+		}
+	}
+}
+
+// trimAll drops all buffered output up to and including the given batch
+// unconditionally. Only safe when downstream replay can never reach back
+// that far (pure-active deployments without checkpoints).
+func (rt *taskRuntime) trimAll(upTo int) {
+	for _, buf := range rt.outBuf {
+		for b := range buf {
+			if b <= upTo {
+				delete(buf, b)
+			}
+		}
+	}
+}
+
+// ackAndTrim is the periodic primary->replica progress ack (§V-B). The
+// replica records the ack (bounding the take-over resend) and trims its
+// buffer, retaining everything a downstream checkpoint recovery could
+// still request: per downstream the trim is bounded by the downstream's
+// last checkpoint. Without checkpointing in the deployment, downstream
+// recovery never replays, so the ack alone bounds retention.
+func (rt *taskRuntime) ackAndTrim(ack int, checkpointing bool) {
+	rt.ackBatch = ack
+	if !checkpointing {
+		rt.trimAll(ack)
+		return
+	}
+	for d, buf := range rt.outBuf {
+		bound, ok := rt.ckptBound[d]
+		if !ok {
+			continue
+		}
+		if ack < bound {
+			bound = ack
+		}
+		for b := range buf {
+			if b <= bound {
+				delete(buf, b)
+			}
+		}
+	}
+}
+
+// resendSince redelivers buffered output batches strictly after the
+// given batch to the downstream tasks — the take-over resend of an
+// activated replica. The cost is charged at ResendRate.
+func (rt *taskRuntime) resendSince(since int) {
+	if rt.failed {
+		return
+	}
+	total := 0
+	for _, rec := range rt.downstreamIDs() {
+		buf := rt.outBuf[rec]
+		batches := make([]int, 0, len(buf))
+		for b := range buf {
+			if b > since {
+				batches = append(batches, b)
+			}
+		}
+		sort.Ints(batches)
+		for _, b := range batches {
+			rt.eng.deliver(rt.id, rec, b, buf[b], true, false)
+			total += buf[b].Count
+		}
+	}
+	if total > 0 {
+		rt.busyUntil = maxTime(rt.busyUntil, rt.eng.clock.Now()) + sim.Time(float64(total)/rt.eng.cfg.ResendRate)
+	}
+}
+
+// bufferedCount returns the number of buffered output tuples.
+func (rt *taskRuntime) bufferedCount() int {
+	total := 0
+	for _, buf := range rt.outBuf {
+		for _, b := range buf {
+			total += b.Count
+		}
+	}
+	return total
+}
+
+// resetTo rewinds a live task to re-process from the given batch with
+// fresh state (Storm-style source replay through live ancestors).
+func (rt *taskRuntime) resetTo(batch int) {
+	rt.epoch++
+	rt.procScheduled = false
+	rt.staged = make(map[int]map[topology.TaskID]*Batch)
+	rt.puncts = make(map[int]map[topology.TaskID]bool)
+	rt.fabricated = make(map[int]bool)
+	rt.nextBatch = batch
+	rt.processedBatch = batch - 1
+	if rt.udf != nil {
+		// Restore(nil) resets the operator to its initial state.
+		_ = rt.udf.Restore(nil)
+	}
+}
+
+// snapshotState captures the checkpoint payload of this task.
+func (rt *taskRuntime) snapshotState() []byte {
+	if rt.isSource {
+		return encodeInt(rt.nextBatch)
+	}
+	return rt.udf.Snapshot()
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func encodeInt(v int) []byte {
+	b := make([]byte, 8)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	return b
+}
+
+func decodeInt(b []byte) int {
+	if len(b) < 8 {
+		return 0
+	}
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int(u)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortIDs(ids []topology.TaskID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

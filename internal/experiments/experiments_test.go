@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func point(t *testing.T, r Result, series, x string) float64 {
+	t.Helper()
+	s, ok := seriesByName(r.Series)[series]
+	if !ok {
+		t.Fatalf("series %q missing in %s (have %v)", series, r.Figure, names(r))
+	}
+	v, ok := lookup(s, x)
+	if !ok {
+		t.Fatalf("point %q missing in series %q of %s", x, series, r.Figure)
+	}
+	return v
+}
+
+func names(r Result) []string {
+	var out []string
+	for _, s := range r.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// TestRunRecoveryCell exercises one cell of Fig. 7 per technique and
+// checks the paper's qualitative ordering: active < checkpoint, and
+// checkpoint latency grows with the interval.
+func TestRunRecoveryCell(t *testing.T) {
+	cfg := recoveryConfig{windowBatches: 10, rate: 1000}
+	lat := func(tech technique) float64 {
+		stats, err := runRecovery(tech, cfg, singleNode, 8) // an O2 node
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stats) != 1 {
+			t.Fatalf("%s: %d stats", tech.name, len(stats))
+		}
+		for _, l := range stats {
+			return float64(l)
+		}
+		return 0
+	}
+	active := lat(figTechniques[0]) // Active-5s
+	ckpt5 := lat(figTechniques[2])  // Checkpoint-5s
+	ckpt30 := lat(figTechniques[4]) // Checkpoint-30s
+	storm := lat(figTechniques[5])  // Storm
+	if !(active < ckpt5 && ckpt5 < ckpt30) {
+		t.Errorf("ordering violated: active=%v ckpt5=%v ckpt30=%v", active, ckpt5, ckpt30)
+	}
+	if storm <= active {
+		t.Errorf("storm=%v should exceed active=%v", storm, active)
+	}
+}
+
+// TestRunRecoveryCorrelated checks that a full correlated failure
+// recovers under both active and checkpoint techniques and that active
+// stays far ahead.
+func TestRunRecoveryCorrelated(t *testing.T) {
+	cfg := recoveryConfig{windowBatches: 10, rate: 1000}
+	statsA, err := runRecovery(figTechniques[0], cfg, correlated, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsC, err := runRecovery(figTechniques[3], cfg, correlated, 0) // Checkpoint-15s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statsA) != 15 || len(statsC) != 15 {
+		t.Fatalf("stats = %d / %d, want 15 tasks each", len(statsA), len(statsC))
+	}
+	var worstA, worstC float64
+	for _, l := range statsA {
+		if float64(l) > worstA {
+			worstA = float64(l)
+		}
+	}
+	for _, l := range statsC {
+		if float64(l) > worstC {
+			worstC = float64(l)
+		}
+	}
+	if worstA >= worstC {
+		t.Errorf("correlated: active %v should beat checkpoint %v", worstA, worstC)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []string{"1000_tuples/s", "2000_tuples/s"} {
+		r1 := point(t, r, rate, "1s")
+		r30 := point(t, r, rate, "30s")
+		if r1 <= r30 {
+			t.Errorf("%s: ratio at 1s (%v) should exceed 30s (%v)", rate, r1, r30)
+		}
+		if r1 <= 0 {
+			t.Errorf("%s: zero checkpoint cost", rate)
+		}
+	}
+	// higher rate -> more state -> higher ratio at the same interval
+	if point(t, r, "2000_tuples/s", "1s") <= point(t, r, "1000_tuples/s", "1s")/2 {
+		t.Error("rate dependence of checkpoint cost looks wrong")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := Fig10(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []string{"5s", "15s", "30s"} {
+		full := point(t, r, "PPA-1.0", x)
+		halfActive := point(t, r, "PPA-0.5-active", x)
+		half := point(t, r, "PPA-0.5", x)
+		none := point(t, r, "PPA-0", x)
+		// Paper: PPA-0.5-active <= PPA-1.0 << PPA-0.5 <= PPA-0.
+		if halfActive > full+0.5 {
+			t.Errorf("%s: PPA-0.5-active %v should be <= PPA-1.0 %v", x, halfActive, full)
+		}
+		if full >= half {
+			t.Errorf("%s: PPA-1.0 %v should beat PPA-0.5 %v", x, full, half)
+		}
+		if half > none+0.5 {
+			t.Errorf("%s: PPA-0.5 %v should be <= PPA-0 %v", x, half, none)
+		}
+	}
+}
+
+func TestFig12Q2Shape(t *testing.T) {
+	r, err := Fig12Q2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defining result: for the join query the IC metric overestimates
+	// quality — IC value far above the actual accuracy of the IC plan —
+	// while OF tracks its plan's accuracy.
+	icGap, ofGap := 0.0, 0.0
+	for _, x := range []string{"0.4", "0.6"} {
+		icGap += point(t, r, "IC", x) - point(t, r, "IC-SA-Accuracy", x)
+		ofGap += abs(point(t, r, "OF", x) - point(t, r, "OF-SA-Accuracy", x))
+	}
+	if icGap <= ofGap {
+		t.Errorf("IC gap (%v) should exceed OF gap (%v) for the join query", icGap, ofGap)
+	}
+}
+
+func TestFig13Q1Shape(t *testing.T) {
+	r, err := Fig13Q1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DP is optimal; SA close; Greedy worst at low fractions.
+	for _, x := range []string{"0.2", "0.4"} {
+		dp := point(t, r, "DP-OF", x)
+		sa := point(t, r, "SA-OF", x)
+		g := point(t, r, "Greedy-OF", x)
+		if sa > dp+1e-9 || g > dp+1e-9 {
+			t.Errorf("%s: DP %v beaten by SA %v or Greedy %v", x, dp, sa, g)
+		}
+		if g > sa+1e-9 {
+			t.Errorf("%s: Greedy %v should not beat SA %v", x, g, sa)
+		}
+	}
+	if dp := point(t, r, "DP-OF", "0.2"); dp <= 0 {
+		t.Errorf("DP OF at 0.2 = %v, want > 0", dp)
+	}
+}
+
+func TestFig14aShape(t *testing.T) {
+	r, err := Fig14a(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SA must dominate greedy, most visibly at small ratios.
+	saZ := point(t, r, "SA-zipf", "0.2")
+	gZ := point(t, r, "Greedy-zipf", "0.2")
+	if saZ < gZ {
+		t.Errorf("SA-zipf %v below Greedy-zipf %v at 0.2", saZ, gZ)
+	}
+	saBig := point(t, r, "SA-zipf", "0.8")
+	if saBig <= saZ {
+		t.Errorf("SA OF should grow with budget: %v at 0.2 vs %v at 0.8", saZ, saBig)
+	}
+}
+
+func TestFig14dShape(t *testing.T) {
+	r, err := Fig14d(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joins reduce achievable OF at the same budget (§VI-C).
+	noJoin := point(t, r, "SA-NoJoin", "0.4")
+	join := point(t, r, "SA-Join-50%", "0.4")
+	if join > noJoin {
+		t.Errorf("join topologies OF %v should not exceed no-join %v", join, noJoin)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{
+		Figure: "Fig. X", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: "1", Y: 0.5}}},
+			{Name: "b", Points: []Point{{X: "2", Y: 1.5}}},
+		},
+	}
+	s := r.String()
+	for _, want := range []string{"Fig. X", "demo", "a", "b", "0.500", "1.500", "-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTechniqueListMatchesPaper(t *testing.T) {
+	want := []string{"Active-5s", "Active-30s", "Checkpoint-5s", "Checkpoint-15s", "Checkpoint-30s", "Storm"}
+	if len(figTechniques) != len(want) {
+		t.Fatalf("%d techniques", len(figTechniques))
+	}
+	for i, tech := range figTechniques {
+		if tech.name != want[i] {
+			t.Errorf("technique %d = %s, want %s", i, tech.name, want[i])
+		}
+	}
+	if len(figConfigs) != 4 {
+		t.Errorf("%d configs, want 4", len(figConfigs))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ = engine.StrategyActive // keep the import for the technique table

@@ -1,0 +1,248 @@
+// Package fidelity implements the output-quality models of Su & Zhou
+// (ICDE 2016), §III: the operator output-loss model (Eqs. 1–3), the
+// Output Fidelity metric (Eq. 4) and, for comparison, the Internal
+// Completeness (IC) metric of Bellavista et al. (EDBT'14) used as a
+// baseline in the paper's evaluation.
+//
+// Output Fidelity estimates the quality of the tentative outputs a
+// topology produces while some of its tasks are failed. Information
+// loss (IL) is propagated from the failed tasks through the topology
+// DAG down to the sink operators, distinguishing correlated-input
+// (join) operators from independent-input operators.
+package fidelity
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Model evaluates output-quality metrics for one topology. It
+// precomputes the task traversal order and failure-free rates so that
+// repeated evaluations (as performed by the planning algorithms) are
+// cheap. A Model is safe for concurrent use by multiple goroutines as
+// long as each goroutine uses its own Evaluator.
+type Model struct {
+	topo *topology.Topology
+	// taskOrder lists all task IDs such that every task appears after
+	// all of its upstream tasks.
+	taskOrder []topology.TaskID
+	sinkTasks []topology.TaskID
+	sinkRate  float64 // total failure-free output rate of the sink tasks
+	// normalIn[t] is the total failure-free input rate of task t,
+	// used by the IC metric.
+	normalIn    []float64
+	totalNormal float64
+}
+
+// NewModel builds an evaluation model for the given topology.
+func NewModel(t *topology.Topology) *Model {
+	m := &Model{topo: t}
+	for _, op := range t.OpOrder() {
+		m.taskOrder = append(m.taskOrder, t.TasksOf(op)...)
+	}
+	m.sinkTasks = t.SinkTasks()
+	for _, id := range m.sinkTasks {
+		m.sinkRate += t.OutRate(id)
+	}
+	m.normalIn = make([]float64, t.NumTasks())
+	for _, task := range t.Tasks {
+		var in float64
+		for _, is := range t.InputsOf(task.ID) {
+			in += is.Rate()
+		}
+		if len(t.InputsOf(task.ID)) == 0 {
+			// Source tasks process their emitted stream.
+			in = t.OutRate(task.ID)
+		}
+		m.normalIn[task.ID] = in
+		m.totalNormal += in
+	}
+	return m
+}
+
+// Topology returns the topology the model was built for.
+func (m *Model) Topology() *topology.Topology { return m.topo }
+
+// Evaluator holds reusable scratch buffers for metric evaluation. Not
+// safe for concurrent use.
+type Evaluator struct {
+	m      *Model
+	il     []float64 // ILout per task
+	rate   []float64 // effective received rate per task (IC)
+	failed []bool
+}
+
+// NewEvaluator returns an evaluator backed by the model.
+func (m *Model) NewEvaluator() *Evaluator {
+	n := m.topo.NumTasks()
+	return &Evaluator{
+		m:      m,
+		il:     make([]float64, n),
+		rate:   make([]float64, n),
+		failed: make([]bool, n),
+	}
+}
+
+// setFailed loads the failure set into the scratch buffer.
+func (e *Evaluator) setFailed(failed []bool) {
+	if len(failed) != len(e.failed) {
+		panic(fmt.Sprintf("fidelity: failure vector has %d entries, topology has %d tasks", len(failed), len(e.failed)))
+	}
+	copy(e.failed, failed)
+}
+
+// OutputLoss computes ILout for every task under the given failure set
+// (failed[i] refers to TaskID i). The returned slice aliases the
+// evaluator's scratch buffer and is valid until the next call.
+func (e *Evaluator) OutputLoss(failed []bool) []float64 {
+	e.setFailed(failed)
+	t := e.m.topo
+	for _, id := range e.m.taskOrder {
+		if e.failed[id] {
+			e.il[id] = 1
+			continue
+		}
+		ins := t.InputsOf(id)
+		if len(ins) == 0 { // live source task: no loss
+			e.il[id] = 0
+			continue
+		}
+		kind := t.Ops[t.Tasks[id].Op].Kind
+		if kind == topology.Correlated {
+			// Eq. 2: ILout = 1 - prod_j (1 - ILin_j)
+			prod := 1.0
+			for _, in := range ins {
+				prod *= 1 - e.inputLoss(in)
+			}
+			e.il[id] = clamp01(1 - prod)
+		} else {
+			// Eq. 3: rate-weighted average of the input-stream losses.
+			var num, den float64
+			for _, in := range ins {
+				r := in.Rate()
+				num += r * e.inputLoss(in)
+				den += r
+			}
+			if den == 0 {
+				e.il[id] = 1
+			} else {
+				e.il[id] = clamp01(num / den)
+			}
+		}
+	}
+	return e.il
+}
+
+// inputLoss computes Eq. 1: the rate-weighted information loss of one
+// input stream from the losses of its substreams. The loss of a
+// substream equals the output loss of its source task.
+func (e *Evaluator) inputLoss(in topology.InputStream) float64 {
+	var num, den float64
+	for _, sub := range in.Subs {
+		num += sub.Rate * e.il[sub.From]
+		den += sub.Rate
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// OF computes Output Fidelity (Eq. 4) under the given failure set:
+// the failure-free-rate-weighted complement of the sink tasks' output
+// losses. OF is 1 when nothing is failed and 0 when all sink output is
+// lost.
+func (e *Evaluator) OF(failed []bool) float64 {
+	il := e.OutputLoss(failed)
+	if e.m.sinkRate == 0 {
+		return 0
+	}
+	var lost float64
+	for _, id := range e.m.sinkTasks {
+		lost += e.m.topo.OutRate(id) * il[id]
+	}
+	return clamp01(1 - lost/e.m.sinkRate)
+}
+
+// OFPlan computes the Output Fidelity of a partially active replication
+// plan under the paper's worst-case correlated failure assumption (§IV):
+// every task that is not actively replicated is failed.
+// replicated[i] refers to TaskID i.
+func (e *Evaluator) OFPlan(replicated []bool) float64 {
+	if len(replicated) != len(e.failed) {
+		panic(fmt.Sprintf("fidelity: plan vector has %d entries, topology has %d tasks", len(replicated), len(e.failed)))
+	}
+	failed := make([]bool, len(replicated))
+	for i, r := range replicated {
+		failed[i] = !r
+	}
+	return e.OF(failed)
+}
+
+// OFSingleFailure computes OF when only the given task fails; this is
+// the ranking criterion of the paper's greedy algorithm (Alg. 2).
+func (e *Evaluator) OFSingleFailure(id topology.TaskID) float64 {
+	failed := make([]bool, e.m.topo.NumTasks())
+	failed[id] = true
+	return e.OF(failed)
+}
+
+// IC computes the Internal Completeness baseline metric: the fraction
+// of tuples expected to be processed by all tasks under the failure set
+// relative to failure-free processing. Unlike OF, IC propagates plain
+// rates and ignores input-stream correlation, which is why it
+// mispredicts the quality of queries with joins (§VI-B).
+func (e *Evaluator) IC(failed []bool) float64 {
+	e.setFailed(failed)
+	t := e.m.topo
+	if e.m.totalNormal == 0 {
+		return 0
+	}
+	var processed float64
+	for _, id := range e.m.taskOrder {
+		if e.failed[id] {
+			e.rate[id] = 0
+			continue
+		}
+		ins := t.InputsOf(id)
+		if len(ins) == 0 {
+			e.rate[id] = t.OutRate(id)
+			processed += e.rate[id]
+			continue
+		}
+		var received float64
+		for _, in := range ins {
+			for _, sub := range in.Subs {
+				// fraction of the substream still flowing
+				full := t.OutRate(sub.From)
+				if full > 0 {
+					received += sub.Rate * e.rate[sub.From] / full
+				}
+			}
+		}
+		processed += received
+		e.rate[id] = received * t.Ops[t.Tasks[id].Op].Selectivity
+	}
+	return clamp01(processed / e.m.totalNormal)
+}
+
+// ICPlan computes IC under the worst-case correlated failure of a plan,
+// mirroring OFPlan.
+func (e *Evaluator) ICPlan(replicated []bool) float64 {
+	failed := make([]bool, len(replicated))
+	for i, r := range replicated {
+		failed[i] = !r
+	}
+	return e.IC(failed)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

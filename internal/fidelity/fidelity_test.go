@@ -1,0 +1,343 @@
+package fidelity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// fig2 builds the paper's Fig. 2 example calibrated so that the worked
+// IL numbers hold: O1 contributes an input stream of rate 3, O2 one of
+// rate 5 with task rates 3 and 2.
+func fig2(kind topology.InputKind) (*topology.Topology, error) {
+	b := topology.NewBuilder()
+	o1 := b.AddSource("O1", 2, 1.5) // total 3
+	o2 := b.AddSource("O2", 2, 2.5) // total 5, skewed 3:2
+	b.SetWeights(o2, []float64{3, 2})
+	o3 := b.AddOperator("O3", 1, kind, 1)
+	b.Connect(o1, o3, topology.Full)
+	b.Connect(o2, o3, topology.Full)
+	return b.Build()
+}
+
+// TestPaperExample reproduces the worked example of §III-A1: with task
+// t22 failed, ILout of the downstream task is 2/5 for a correlated-input
+// operator and 1/4 for an independent-input operator.
+func TestPaperExample(t *testing.T) {
+	for _, tc := range []struct {
+		kind topology.InputKind
+		want float64
+	}{
+		{topology.Correlated, 2.0 / 5.0},
+		{topology.Independent, 1.0 / 4.0},
+	} {
+		topo, err := fig2(tc.kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewModel(topo)
+		e := m.NewEvaluator()
+		failed := make([]bool, topo.NumTasks())
+		// t22 is the second task of O2 (rate 2).
+		failed[topo.TasksOf(1)[1]] = true
+		il := e.OutputLoss(failed)
+		sink := topo.SinkTasks()[0]
+		if !almostEqual(il[sink], tc.want) {
+			t.Errorf("%v: ILout(sink) = %v, want %v", tc.kind, il[sink], tc.want)
+		}
+		if of := e.OF(failed); !almostEqual(of, 1-tc.want) {
+			t.Errorf("%v: OF = %v, want %v", tc.kind, of, 1-tc.want)
+		}
+	}
+}
+
+func TestNoFailurePerfectFidelity(t *testing.T) {
+	topo, err := fig2(topology.Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	failed := make([]bool, topo.NumTasks())
+	if of := e.OF(failed); !almostEqual(of, 1) {
+		t.Errorf("OF with no failures = %v, want 1", of)
+	}
+	if ic := e.IC(failed); !almostEqual(ic, 1) {
+		t.Errorf("IC with no failures = %v, want 1", ic)
+	}
+}
+
+func TestAllFailedZeroFidelity(t *testing.T) {
+	topo, err := fig2(topology.Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	failed := make([]bool, topo.NumTasks())
+	for i := range failed {
+		failed[i] = true
+	}
+	if of := e.OF(failed); of != 0 {
+		t.Errorf("OF with all failed = %v, want 0", of)
+	}
+	if ic := e.IC(failed); ic != 0 {
+		t.Errorf("IC with all failed = %v, want 0", ic)
+	}
+}
+
+// TestJoinTotalLoss: losing an entire input stream of a correlated-input
+// operator destroys all of its output, but only part of an
+// independent-input operator's output.
+func TestJoinTotalLoss(t *testing.T) {
+	for _, tc := range []struct {
+		kind topology.InputKind
+		want float64
+	}{
+		{topology.Correlated, 1},
+		{topology.Independent, 3.0 / 8.0}, // lost stream has rate 3 of 8
+	} {
+		topo, err := fig2(tc.kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewModel(topo).NewEvaluator()
+		failed := make([]bool, topo.NumTasks())
+		for _, id := range topo.TasksOf(0) { // kill all of O1
+			failed[id] = true
+		}
+		il := e.OutputLoss(failed)
+		sink := topo.SinkTasks()[0]
+		if !almostEqual(il[sink], tc.want) {
+			t.Errorf("%v: ILout = %v, want %v", tc.kind, il[sink], tc.want)
+		}
+	}
+}
+
+// TestSinkFailure: a failed sink task loses its own share of the output.
+func TestSinkFailure(t *testing.T) {
+	b := topology.NewBuilder()
+	src := b.AddSource("src", 2, 100)
+	sink := b.AddOperator("sink", 2, topology.Independent, 1)
+	b.Connect(src, sink, topology.OneToOne)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	failed := make([]bool, topo.NumTasks())
+	failed[topo.TasksOf(1)[0]] = true
+	if of := e.OF(failed); !almostEqual(of, 0.5) {
+		t.Errorf("OF = %v, want 0.5", of)
+	}
+}
+
+// TestICIgnoresCorrelation: the defining defect of IC (per the paper's
+// §VI-B): when one input stream of a join is lost, IC still credits the
+// processing of the other stream while OF correctly reports total loss.
+func TestICIgnoresCorrelation(t *testing.T) {
+	topo, err := fig2(topology.Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	failed := make([]bool, topo.NumTasks())
+	for _, id := range topo.TasksOf(0) {
+		failed[id] = true
+	}
+	of := e.OF(failed)
+	ic := e.IC(failed)
+	if of != 0 {
+		t.Fatalf("OF = %v, want 0", of)
+	}
+	if ic <= 0.3 {
+		t.Fatalf("IC = %v, want sizeable despite join loss", ic)
+	}
+}
+
+func TestOFSingleFailure(t *testing.T) {
+	topo, err := fig2(topology.Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	// Failing the heavier O2 task (rate 3) must hurt more than the
+	// lighter one (rate 2).
+	heavy := e.OFSingleFailure(topo.TasksOf(1)[0])
+	light := e.OFSingleFailure(topo.TasksOf(1)[1])
+	if heavy >= light {
+		t.Errorf("OF(fail heavy)=%v should be < OF(fail light)=%v", heavy, light)
+	}
+	sink := topo.SinkTasks()[0]
+	if of := e.OFSingleFailure(sink); of != 0 {
+		t.Errorf("OF(fail sink) = %v, want 0", of)
+	}
+}
+
+// randomLayeredTopo builds a small random layered topology for property
+// tests. Layers are fully connected, with random kinds and parallelism.
+func randomLayeredTopo(rng *rand.Rand) *topology.Topology {
+	b := topology.NewBuilder()
+	layers := 2 + rng.Intn(3)
+	prev := b.AddSource("src", 1+rng.Intn(3), 100+rng.Float64()*900)
+	for l := 1; l < layers; l++ {
+		kind := topology.Independent
+		if rng.Intn(2) == 0 {
+			kind = topology.Correlated
+		}
+		op := b.AddOperator("op", 1+rng.Intn(4), kind, 0.1+rng.Float64())
+		b.Connect(prev, op, topology.Full)
+		prev = op
+	}
+	topo, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+// Property: OF and IC are always within [0,1] and removing a failure
+// never lowers them (antitone in the failure set).
+func TestMetricBoundsAndMonotonicity(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := randomLayeredTopo(rng)
+		e := NewModel(topo).NewEvaluator()
+		n := topo.NumTasks()
+		failed := make([]bool, n)
+		for i := range failed {
+			failed[i] = rng.Intn(3) == 0
+		}
+		of := e.OF(failed)
+		ic := e.IC(failed)
+		if of < 0 || of > 1 || ic < 0 || ic > 1 {
+			return false
+		}
+		// un-fail one failed task; metrics must not decrease
+		for i := range failed {
+			if failed[i] {
+				failed[i] = false
+				if e.OF(failed) < of-1e-12 {
+					return false
+				}
+				if e.IC(failed) < ic-1e-12 {
+					return false
+				}
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OFPlan is monotone in plan growth — replicating one more
+// task never lowers the worst-case OF.
+func TestOFPlanMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo := randomLayeredTopo(rng)
+		e := NewModel(topo).NewEvaluator()
+		n := topo.NumTasks()
+		plan := make([]bool, n)
+		for i := range plan {
+			plan[i] = rng.Intn(2) == 0
+		}
+		base := e.OFPlan(plan)
+		for i := range plan {
+			if !plan[i] {
+				plan[i] = true
+				if e.OFPlan(plan) < base-1e-12 {
+					return false
+				}
+				plan[i] = false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyPlanAndFullPlan(t *testing.T) {
+	topo, err := fig2(topology.Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	n := topo.NumTasks()
+	none := make([]bool, n)
+	if of := e.OFPlan(none); of != 0 {
+		t.Errorf("OFPlan(empty) = %v, want 0", of)
+	}
+	all := make([]bool, n)
+	for i := range all {
+		all[i] = true
+	}
+	if of := e.OFPlan(all); !almostEqual(of, 1) {
+		t.Errorf("OFPlan(all) = %v, want 1", of)
+	}
+	if ic := e.ICPlan(all); !almostEqual(ic, 1) {
+		t.Errorf("ICPlan(all) = %v, want 1", ic)
+	}
+}
+
+func TestMismatchedVectorPanics(t *testing.T) {
+	topo, err := fig2(topology.Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched failure vector")
+		}
+	}()
+	e.OF(make([]bool, 1))
+}
+
+func TestModelTopologyAccessor(t *testing.T) {
+	topo, err := fig2(topology.Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(topo)
+	if m.Topology() != topo {
+		t.Error("Topology() did not return the original topology")
+	}
+}
+
+// TestDeepPropagation checks loss propagation through a 4-operator
+// chain: failing one of two merge-input tasks halves the fidelity at
+// every level below.
+func TestDeepPropagation(t *testing.T) {
+	b := topology.NewBuilder()
+	src := b.AddSource("src", 4, 100)
+	o1 := b.AddOperator("O1", 2, topology.Independent, 1)
+	o2 := b.AddOperator("O2", 1, topology.Independent, 1)
+	b.Connect(src, o1, topology.Merge)
+	b.Connect(o1, o2, topology.Merge)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewModel(topo).NewEvaluator()
+	failed := make([]bool, topo.NumTasks())
+	failed[topo.TasksOf(1)[0]] = true // one O1 task
+	if of := e.OF(failed); !almostEqual(of, 0.5) {
+		t.Errorf("OF = %v, want 0.5", of)
+	}
+	// Failing one source task upstream of the other O1 task loses a
+	// quarter of the input.
+	failed = make([]bool, topo.NumTasks())
+	failed[topo.TasksOf(0)[3]] = true
+	if of := e.OF(failed); !almostEqual(of, 0.75) {
+		t.Errorf("OF = %v, want 0.75", of)
+	}
+}

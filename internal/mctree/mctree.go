@@ -1,0 +1,341 @@
+// Package mctree implements the Minimal Complete Tree (MC-tree) analysis
+// of Su & Zhou (ICDE 2016), §III-B and §IV-C: enumeration and counting
+// of MC-trees, the classification of topologies into structured and full
+// topologies, the unit/segment decomposition of structured topologies,
+// and the DFS-based decomposition of a general topology into
+// sub-topologies.
+//
+// An MC-tree (Definition 1) is a tree-structured subgraph of the
+// topology DAG whose source vertices are tasks of source operators and
+// whose sink vertex is a task of an output operator; it can contribute
+// to final outputs if and only if all of its tasks are alive. For a
+// correlated-input (join) task the tree must contain one upstream
+// subtree per input stream; for an independent-input task a single
+// upstream subtree of any one input substream suffices.
+package mctree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// ErrTooManyTrees is returned when enumeration would exceed the caller's
+// cap; the number of MC-trees grows as the product of operator
+// parallelisms for chains of Full partitionings (§IV-C).
+var ErrTooManyTrees = errors.New("mctree: too many MC-trees")
+
+// Tree is one MC-tree, represented as its sorted set of task IDs.
+type Tree struct {
+	Tasks []topology.TaskID
+}
+
+// Key returns a canonical string identity for the tree's task set.
+func (tr Tree) Key() string {
+	var b strings.Builder
+	for i, id := range tr.Tasks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(id)))
+	}
+	return b.String()
+}
+
+// Contains reports whether the tree includes the task.
+func (tr Tree) Contains(id topology.TaskID) bool {
+	i := sort.Search(len(tr.Tasks), func(i int) bool { return tr.Tasks[i] >= id })
+	return i < len(tr.Tasks) && tr.Tasks[i] == id
+}
+
+// Size returns the number of tasks in the tree.
+func (tr Tree) Size() int { return len(tr.Tasks) }
+
+// NonReplicated returns the number of the tree's tasks that are not set
+// in the replicated vector (the paper's nonrep_tasks(tr, CP)).
+func (tr Tree) NonReplicated(replicated []bool) int {
+	n := 0
+	for _, id := range tr.Tasks {
+		if !replicated[id] {
+			n++
+		}
+	}
+	return n
+}
+
+func newTree(set map[topology.TaskID]bool) Tree {
+	tasks := make([]topology.TaskID, 0, len(set))
+	for id := range set {
+		tasks = append(tasks, id)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	return Tree{Tasks: tasks}
+}
+
+// scope restricts the traversal to a subset of operators; nil means the
+// whole topology.
+type scope struct {
+	t   *topology.Topology
+	ops map[int]bool // nil = all
+}
+
+func (s scope) inScope(op int) bool { return s.ops == nil || s.ops[op] }
+
+// inputStreams returns the input streams of a task restricted to the
+// scope (streams from out-of-scope operators are treated as external and
+// ignored, making in-scope boundary tasks behave as sources).
+func (s scope) inputStreams(id topology.TaskID) []topology.InputStream {
+	var out []topology.InputStream
+	for _, in := range s.t.InputsOf(id) {
+		if s.inScope(in.FromOp) {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// sinkTasks returns the tasks of in-scope operators that have no
+// downstream operator within the scope.
+func (s scope) sinkTasks() []topology.TaskID {
+	var out []topology.TaskID
+	for op := range s.t.Ops {
+		if !s.inScope(op) {
+			continue
+		}
+		hasDown := false
+		for _, d := range s.t.DownstreamOps(op) {
+			if s.inScope(d) {
+				hasDown = true
+				break
+			}
+		}
+		if !hasDown {
+			out = append(out, s.t.TasksOf(op)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Enumerate lists all MC-trees of the topology. It fails with
+// ErrTooManyTrees once more than maxTrees distinct trees exist.
+func Enumerate(t *topology.Topology, maxTrees int) ([]Tree, error) {
+	return enumerateScope(scope{t: t}, maxTrees)
+}
+
+// EnumerateSub lists the MC-trees of the sub-graph induced by the given
+// operators, treated as a standalone topology: tasks of operators with
+// no in-scope upstream act as sources, tasks of operators with no
+// in-scope downstream act as sinks. These are the "segments" of §IV-C1.
+func EnumerateSub(t *topology.Topology, ops []int, maxTrees int) ([]Tree, error) {
+	m := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		m[op] = true
+	}
+	return enumerateScope(scope{t: t, ops: m}, maxTrees)
+}
+
+func enumerateScope(s scope, maxTrees int) ([]Tree, error) {
+	memo := make(map[topology.TaskID][]map[topology.TaskID]bool)
+	var build func(id topology.TaskID) ([]map[topology.TaskID]bool, error)
+	build = func(id topology.TaskID) ([]map[topology.TaskID]bool, error) {
+		if sets, ok := memo[id]; ok {
+			return sets, nil
+		}
+		ins := s.inputStreams(id)
+		var sets []map[topology.TaskID]bool
+		if len(ins) == 0 {
+			sets = []map[topology.TaskID]bool{{id: true}}
+		} else if s.t.Ops[s.t.Tasks[id].Op].Kind == topology.Correlated {
+			// one upstream subtree per input stream: cross product
+			sets = []map[topology.TaskID]bool{{id: true}}
+			for _, in := range ins {
+				var streamOpts []map[topology.TaskID]bool
+				for _, sub := range in.Subs {
+					up, err := build(sub.From)
+					if err != nil {
+						return nil, err
+					}
+					streamOpts = append(streamOpts, up...)
+				}
+				var next []map[topology.TaskID]bool
+				for _, base := range sets {
+					for _, opt := range streamOpts {
+						merged := make(map[topology.TaskID]bool, len(base)+len(opt))
+						for k := range base {
+							merged[k] = true
+						}
+						for k := range opt {
+							merged[k] = true
+						}
+						next = append(next, merged)
+						if len(next) > maxTrees {
+							return nil, fmt.Errorf("%w (cap %d)", ErrTooManyTrees, maxTrees)
+						}
+					}
+				}
+				sets = next
+			}
+		} else {
+			// independent input: any single substream suffices
+			for _, in := range ins {
+				for _, sub := range in.Subs {
+					up, err := build(sub.From)
+					if err != nil {
+						return nil, err
+					}
+					for _, opt := range up {
+						merged := make(map[topology.TaskID]bool, len(opt)+1)
+						for k := range opt {
+							merged[k] = true
+						}
+						merged[id] = true
+						sets = append(sets, merged)
+						if len(sets) > maxTrees {
+							return nil, fmt.Errorf("%w (cap %d)", ErrTooManyTrees, maxTrees)
+						}
+					}
+				}
+			}
+		}
+		memo[id] = sets
+		return sets, nil
+	}
+
+	seen := make(map[string]bool)
+	var trees []Tree
+	for _, sink := range s.sinkTasks() {
+		sets, err := build(sink)
+		if err != nil {
+			return nil, err
+		}
+		for _, set := range sets {
+			tr := newTree(set)
+			k := tr.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			trees = append(trees, tr)
+			if len(trees) > maxTrees {
+				return nil, fmt.Errorf("%w (cap %d)", ErrTooManyTrees, maxTrees)
+			}
+		}
+	}
+	// Deterministic order: by size then key.
+	sort.Slice(trees, func(i, j int) bool {
+		if len(trees[i].Tasks) != len(trees[j].Tasks) {
+			return len(trees[i].Tasks) < len(trees[j].Tasks)
+		}
+		return lessTasks(trees[i].Tasks, trees[j].Tasks)
+	})
+	return trees, nil
+}
+
+func lessTasks(a, b []topology.TaskID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Count computes the number of MC-tree derivations of the topology
+// without enumerating them. For chains of Full partitionings this equals
+// the product of the operator parallelisms (§IV-C). The count is an
+// upper bound on the number of distinct trees (different derivations can
+// induce the same task set in diamond-shaped DAGs).
+func Count(t *topology.Topology) float64 {
+	memo := make(map[topology.TaskID]float64)
+	var count func(id topology.TaskID) float64
+	count = func(id topology.TaskID) float64 {
+		if c, ok := memo[id]; ok {
+			return c
+		}
+		ins := t.InputsOf(id)
+		var c float64
+		if len(ins) == 0 {
+			c = 1
+		} else if t.Ops[t.Tasks[id].Op].Kind == topology.Correlated {
+			c = 1
+			for _, in := range ins {
+				var streamSum float64
+				for _, sub := range in.Subs {
+					streamSum += count(sub.From)
+				}
+				c *= streamSum
+			}
+		} else {
+			for _, in := range ins {
+				for _, sub := range in.Subs {
+					c += count(sub.From)
+				}
+			}
+		}
+		memo[id] = c
+		return c
+	}
+	var total float64
+	for _, sink := range t.SinkTasks() {
+		total += count(sink)
+	}
+	return total
+}
+
+// MinTreeSize returns the number of tasks in the smallest MC-tree of
+// the topology — the minimum replication budget that can yield a
+// non-zero worst-case OF. For correlated-input operators the per-stream
+// minima are summed, which slightly overestimates trees whose branches
+// share tasks in diamond-shaped DAGs.
+func MinTreeSize(t *topology.Topology) int {
+	memo := make(map[topology.TaskID]int)
+	var size func(id topology.TaskID) int
+	size = func(id topology.TaskID) int {
+		if s, ok := memo[id]; ok {
+			return s
+		}
+		memo[id] = 1 << 30 // cycle guard; topologies are DAGs anyway
+		ins := t.InputsOf(id)
+		s := 1
+		if len(ins) > 0 {
+			if t.Ops[t.Tasks[id].Op].Kind == topology.Correlated {
+				for _, in := range ins {
+					best := 1 << 30
+					for _, sub := range in.Subs {
+						if v := size(sub.From); v < best {
+							best = v
+						}
+					}
+					s += best
+				}
+			} else {
+				best := 1 << 30
+				for _, in := range ins {
+					for _, sub := range in.Subs {
+						if v := size(sub.From); v < best {
+							best = v
+						}
+					}
+				}
+				s += best
+			}
+		}
+		memo[id] = s
+		return s
+	}
+	best := 1 << 30
+	for _, sink := range t.SinkTasks() {
+		if v := size(sink); v < best {
+			best = v
+		}
+	}
+	if best == 1<<30 {
+		return 0
+	}
+	return best
+}

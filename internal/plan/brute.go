@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"errors"
+
+	"repro/internal/topology"
+)
+
+// ErrTooLarge is returned by BruteForce when the topology exceeds the
+// feasible exhaustive-search size.
+var ErrTooLarge = errors.New("plan: topology too large for brute-force search")
+
+// BruteForce exhaustively searches every subset of at most budget tasks
+// and returns a plan with the maximal worst-case OF (ties broken by
+// smaller size, then lexicographically). It exists as the ground-truth
+// reference for testing the optimality of the dynamic programming
+// algorithm and is limited to topologies with at most 24 tasks.
+func BruteForce(c *Context, budget int) (Plan, error) {
+	n := c.Topo.NumTasks()
+	if n > 24 {
+		return Plan{}, ErrTooLarge
+	}
+	if budget > n {
+		budget = n
+	}
+	best := New(n)
+	bestOF := c.OF(best)
+	for mask := uint32(0); mask < 1<<n; mask++ {
+		if popcount(mask) > budget {
+			continue
+		}
+		p := New(n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p.Add(topology.TaskID(i))
+			}
+		}
+		of := c.OF(p)
+		if of > bestOF || (of == bestOF && p.Size() < best.Size()) {
+			best = p
+			bestOF = of
+		}
+	}
+	return best, nil
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

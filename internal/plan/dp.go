@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mctree"
+)
+
+// ErrSearchSpace is returned by the dynamic programming planner when the
+// candidate-plan set exceeds its configured cap; the paper notes the
+// algorithm's complexity is O(2^T) in the number of MC-trees and uses it
+// only on moderately sized topologies (§VI-C skips DP for the random
+// topologies for the same reason).
+var ErrSearchSpace = errors.New("plan: dynamic programming search space exceeds cap")
+
+// DPOptions configures the dynamic programming planner.
+type DPOptions struct {
+	// MaxTrees caps MC-tree enumeration (default 4096).
+	MaxTrees int
+	// MaxStates caps the candidate-plan set size (default 1 << 18).
+	MaxStates int
+}
+
+func (o *DPOptions) defaults() {
+	if o.MaxTrees == 0 {
+		o.MaxTrees = 4096
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 1 << 18
+	}
+}
+
+// DynamicProgramming implements Algorithm 1 (PLANCORRELATEDFAILURE): an
+// optimal bottom-up search over unions of MC-trees. Resource usage is
+// increased one task at a time; every candidate plan is expanded by the
+// MC-trees whose number of non-replicated tasks exactly matches the
+// available slack, and exhausted candidates are pruned. The best plan by
+// worst-case OF (ties broken by smaller resource usage) is returned.
+func DynamicProgramming(c *Context, budget int, opts DPOptions) (Plan, error) {
+	opts.defaults()
+	n := c.Topo.NumTasks()
+	if budget > n {
+		budget = n
+	}
+	trees, err := mctree.Enumerate(c.Topo, opts.MaxTrees)
+	if err != nil {
+		return Plan{}, fmt.Errorf("plan: enumerating MC-trees: %w", err)
+	}
+
+	type state struct{ p Plan }
+	empty := New(n)
+	sc := []state{{p: empty}}
+	seen := map[string]bool{empty.Key(): true}
+
+	best := empty.Clone()
+	bestOF := c.OF(best)
+
+	consider := func(p Plan) {
+		of := c.OF(p)
+		if of > bestOF || (of == bestOF && p.Size() < best.Size()) {
+			best = p.Clone()
+			bestOF = of
+		}
+	}
+
+	for usage := 1; usage <= budget; usage++ {
+		var next []state
+		for _, st := range sc {
+			dif := usage - st.p.Size()
+			if dif < 0 {
+				continue
+			}
+			// The largest number of non-replicated tasks among trees not
+			// yet fully included in the plan.
+			maxNonrep := 0
+			for _, tr := range trees {
+				if nr := tr.NonReplicated(st.p.Vector()); nr > 0 && nr > maxNonrep {
+					maxNonrep = nr
+				}
+			}
+			if dif > maxNonrep {
+				// All possible expansions of this candidate have been
+				// considered; prune it (it stays a contender via best).
+				continue
+			}
+			next = append(next, st)
+			for _, tr := range trees {
+				if tr.NonReplicated(st.p.Vector()) != dif {
+					continue
+				}
+				np := st.p.Clone()
+				np.AddAll(tr.Tasks)
+				key := np.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if len(seen) > opts.MaxStates {
+					return Plan{}, ErrSearchSpace
+				}
+				consider(np)
+				next = append(next, state{p: np})
+			}
+		}
+		sc = next
+	}
+	return best, nil
+}

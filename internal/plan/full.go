@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// fullRank orders the tasks of each scope operator by delta_ij, the
+// scoped-OF increase obtained by replicating the task under the
+// assumption that all other tasks of the same operator are failed and
+// the tasks of the other operators are alive (§IV-C2).
+func fullRank(c *Context, ops []int) map[int][]topology.TaskID {
+	t := c.Topo
+	inScope := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		inScope[op] = true
+	}
+	ranked := make(map[int][]topology.TaskID, len(ops))
+	for _, op := range ops {
+		// pseudo-plan: every in-scope task of the other operators is
+		// alive ("replicated"), operator op contributes only the probe.
+		base := New(t.NumTasks())
+		for _, other := range ops {
+			if other == op {
+				continue
+			}
+			base.AddAll(t.TasksOf(other))
+		}
+		type scored struct {
+			id topology.TaskID
+			d  float64
+		}
+		var ss []scored
+		for _, id := range t.TasksOf(op) {
+			probe := base.Clone()
+			probe.Add(id)
+			ss = append(ss, scored{id: id, d: c.ScopedObjective(ops, probe)})
+		}
+		sort.SliceStable(ss, func(i, j int) bool {
+			if ss[i].d != ss[j].d {
+				return ss[i].d > ss[j].d
+			}
+			return ss[i].id < ss[j].id
+		})
+		ids := make([]topology.TaskID, len(ss))
+		for i, s := range ss {
+			ids[i] = s.id
+		}
+		ranked[op] = ids
+	}
+	return ranked
+}
+
+// fullStep proposes the next expansion of the current plan within a full
+// (sub-)topology per Algorithm 4. When the plan covers no complete
+// MC-tree of the scope yet, the proposal is one best task per operator
+// (in a full topology any one task per operator forms an MC-tree);
+// afterwards it is the single next-best task across operators. It
+// returns nil when every scope task is already replicated.
+func fullStep(c *Context, ops []int, cur Plan) []topology.TaskID {
+	t := c.Topo
+	ranked := fullRank(c, ops)
+
+	// Does the current plan include at least one task of every operator?
+	complete := true
+	for _, op := range ops {
+		found := false
+		for _, id := range t.TasksOf(op) {
+			if cur.Has(id) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			complete = false
+			break
+		}
+	}
+
+	if !complete {
+		// Initial MC-tree: the best non-replicated task of each operator
+		// that lacks one.
+		var out []topology.TaskID
+		for _, op := range ops {
+			has := false
+			for _, id := range t.TasksOf(op) {
+				if cur.Has(id) {
+					has = true
+					break
+				}
+			}
+			if has {
+				continue
+			}
+			for _, id := range ranked[op] {
+				if !cur.Has(id) {
+					out = append(out, id)
+					break
+				}
+			}
+		}
+		sortTaskIDs(out)
+		return out
+	}
+
+	// Single-task expansion: per operator, the next best task; choose
+	// the candidate plan with maximal scoped OF.
+	bestOF := -1.0
+	var bestID topology.TaskID = -1
+	for _, op := range ops {
+		for _, id := range ranked[op] {
+			if cur.Has(id) {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Add(id)
+			of := c.ScopedObjective(ops, cand)
+			if of > bestOF || (of == bestOF && id < bestID) {
+				bestOF = of
+				bestID = id
+			}
+			break // only the operator's next-best task is considered
+		}
+	}
+	if bestID < 0 {
+		return nil
+	}
+	return []topology.TaskID{bestID}
+}
+
+// FullTopology implements Algorithm 4 (PLANFULLTOPOLOGY): plan active
+// replication within a full (sub-)topology given an initial plan and a
+// budget of replicated tasks within the scope. If the budget cannot
+// cover one task per operator and the initial plan is empty, the empty
+// plan is returned (no complete MC-tree is affordable).
+func FullTopology(c *Context, ops []int, initial Plan, budget int) Plan {
+	p := initial.Clone()
+	for {
+		used := scopeUsage(c.Topo, ops, p)
+		if used >= budget {
+			return p
+		}
+		ids := fullStep(c, ops, p)
+		if len(ids) == 0 {
+			return p
+		}
+		if used+len(ids) > budget {
+			return p
+		}
+		p.AddAll(ids)
+	}
+}
+
+// scopeUsage counts the plan's replicated tasks within the scope ops.
+func scopeUsage(t *topology.Topology, ops []int, p Plan) int {
+	n := 0
+	for _, op := range ops {
+		for _, id := range t.TasksOf(op) {
+			if p.Has(id) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// allOps returns [0, NumOps) for planning over a whole topology.
+func allOps(t *topology.Topology) []int {
+	ops := make([]int, t.NumOps())
+	for i := range ops {
+		ops[i] = i
+	}
+	return ops
+}

@@ -1,0 +1,39 @@
+package plan
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Greedy implements Algorithm 2: rank every task by the Output Fidelity
+// of the topology when only that task fails (ascending — a task whose
+// individual failure hurts the most ranks first) and replicate the
+// top-budget tasks. The algorithm is fast (O(N·M) fidelity evaluations)
+// but agnostic to MC-tree completeness, which the paper shows ruins its
+// plans at small replication ratios (§VI-B, §VI-C).
+func Greedy(c *Context, budget int) Plan {
+	n := c.Topo.NumTasks()
+	if budget > n {
+		budget = n
+	}
+	type ranked struct {
+		id topology.TaskID
+		of float64
+	}
+	rs := make([]ranked, 0, n)
+	for id := 0; id < n; id++ {
+		rs = append(rs, ranked{id: topology.TaskID(id), of: c.OFSingleFailure(topology.TaskID(id))})
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].of != rs[j].of {
+			return rs[i].of < rs[j].of
+		}
+		return rs[i].id < rs[j].id
+	})
+	p := New(n)
+	for i := 0; i < budget; i++ {
+		p.Add(rs[i].id)
+	}
+	return p
+}

@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mctree"
+	"repro/internal/topology"
+)
+
+// SAOptions configures the structure-aware planner.
+type SAOptions struct {
+	// MaxSegments caps segment enumeration per unit (default 4096).
+	MaxSegments int
+	// Metric selects the optimisation objective (default MetricOF;
+	// MetricIC reproduces the paper's Fig. 12 IC-optimised plans).
+	Metric Metric
+}
+
+func (o *SAOptions) defaults() {
+	if o.MaxSegments == 0 {
+		o.MaxSegments = 4096
+	}
+}
+
+// subPlanner produces incremental expansions within one sub-topology.
+type subPlanner interface {
+	step(c *Context, cur Plan, maxCost int) []topology.TaskID
+	scope() []int
+}
+
+type fullPlanner struct{ ops []int }
+
+func (f *fullPlanner) scope() []int { return f.ops }
+func (f *fullPlanner) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
+	ids := fullStep(c, f.ops, cur)
+	if len(ids) == 0 || len(ids) > maxCost {
+		return nil
+	}
+	return ids
+}
+
+type structuredPlanner struct{ st *structuredState }
+
+func (s *structuredPlanner) scope() []int { return s.st.ops }
+func (s *structuredPlanner) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
+	return s.st.step(c, cur, maxCost)
+}
+
+// StructureAware implements Algorithm 5: decompose the general topology
+// into full and structured sub-topologies (§IV-C3), give each
+// sub-topology an initial complete MC-tree, then repeatedly apply the
+// sub-topology expansion with the best profit density until the budget
+// is exhausted. A budget smaller than the smallest MC-tree yields the
+// empty plan: no complete MC-tree is affordable, so no plan can have a
+// positive worst-case OF (the paper's Alg. 5 lines 3-4 use the operator
+// count as this bound, which is exact only when every tree spans all
+// operators).
+func StructureAware(c *Context, budget int, opts SAOptions) (Plan, error) {
+	opts.defaults()
+	prevMetric := c.Metric
+	c.Metric = opts.Metric
+	defer func() { c.Metric = prevMetric }()
+	t := c.Topo
+	p := New(t.NumTasks())
+	if budget < mctree.MinTreeSize(t) && opts.Metric == MetricOF {
+		return p, nil
+	}
+
+	subs := mctree.Decompose(t)
+	// Seed downstream sub-topologies first: without a complete segment
+	// chain on the sink side no upstream replication can contribute to
+	// the output, so the initial pass must not exhaust the budget on
+	// upstream subs.
+	pos := make(map[int]int, t.NumOps())
+	for i, op := range t.OpOrder() {
+		pos[op] = i
+	}
+	depth := func(ops []int) int {
+		d := 0
+		for _, op := range ops {
+			if pos[op] > d {
+				d = pos[op]
+			}
+		}
+		return d
+	}
+	sort.SliceStable(subs, func(i, j int) bool { return depth(subs[i].Ops) > depth(subs[j].Ops) })
+
+	planners := make([]subPlanner, 0, len(subs))
+	for _, sub := range subs {
+		if sub.Kind == mctree.FullSub {
+			planners = append(planners, &fullPlanner{ops: sub.Ops})
+			continue
+		}
+		st, err := newStructuredState(c, sub.Ops, opts.MaxSegments)
+		if err != nil {
+			return Plan{}, fmt.Errorf("plan: structure-aware: %w", err)
+		}
+		planners = append(planners, &structuredPlanner{st: st})
+	}
+
+	usage := 0
+	// Initialisation: one expansion per sub-topology so that a complete
+	// MC-tree spans the whole topology.
+	for _, sp := range planners {
+		ids := sp.step(c, p, budget-usage)
+		if len(ids) == 0 {
+			continue
+		}
+		p.AddAll(ids)
+		usage += len(ids)
+	}
+
+	// Iterate: apply the sub-topology step with the maximal profit
+	// density, measured on the global worst-case OF (Alg. 5 lines
+	// 11-18). Scoped improvement breaks ties so that progress continues
+	// while some sub-topology is still below a complete tree.
+	for usage < budget {
+		baseOF := c.Objective(p)
+		bestDensity, bestScoped := -1.0, -1.0
+		var bestIDs []topology.TaskID
+		for _, sp := range planners {
+			ids := sp.step(c, p, budget-usage)
+			if len(ids) == 0 {
+				continue
+			}
+			probe := p.Clone()
+			probe.AddAll(ids)
+			density := (c.Objective(probe) - baseOF) / float64(len(ids))
+			scopedBase := c.ScopedObjective(sp.scope(), p)
+			scoped := (c.ScopedObjective(sp.scope(), probe) - scopedBase) / float64(len(ids))
+			if density > bestDensity || (density == bestDensity && scoped > bestScoped) {
+				bestDensity = density
+				bestScoped = scoped
+				bestIDs = ids
+			}
+		}
+		if len(bestIDs) == 0 {
+			break
+		}
+		p.AddAll(bestIDs)
+		usage += len(bestIDs)
+	}
+	return p, nil
+}

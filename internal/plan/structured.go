@@ -1,0 +1,230 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mctree"
+	"repro/internal/topology"
+)
+
+// structuredState caches the unit decomposition of one structured
+// (sub-)topology so that repeated planning steps do not recompute it.
+type structuredState struct {
+	ops   []int
+	units []mctree.Unit
+	adj   [][]int // unit adjacency
+}
+
+func newStructuredState(c *Context, ops []int, maxSegments int) (*structuredState, error) {
+	units, err := mctree.SplitUnits(c.Topo, mctree.SubTopology{Ops: ops, Kind: mctree.StructuredSub}, maxSegments)
+	if err != nil {
+		return nil, fmt.Errorf("plan: splitting units: %w", err)
+	}
+	st := &structuredState{ops: ops, units: units, adj: make([][]int, len(units))}
+	// Units are adjacent when an operator edge crosses between them.
+	opUnit := map[int]int{}
+	for ui, u := range units {
+		for _, op := range u.Ops {
+			opUnit[op] = ui
+		}
+	}
+	seen := map[[2]int]bool{}
+	for ui, u := range units {
+		for _, op := range u.Ops {
+			for _, d := range c.Topo.DownstreamOps(op) {
+				vi, ok := opUnit[d]
+				if !ok || vi == ui {
+					continue
+				}
+				for _, pair := range [][2]int{{ui, vi}, {vi, ui}} {
+					if !seen[pair] {
+						seen[pair] = true
+						st.adj[pair[0]] = append(st.adj[pair[0]], pair[1])
+					}
+				}
+			}
+		}
+	}
+	for _, a := range st.adj {
+		sort.Ints(a)
+	}
+	return st, nil
+}
+
+// segmentValue scores a segment by the scoped OF of its unit treated as
+// an independent topology with only the segment alive (the paper's
+// max_of ranking).
+func (st *structuredState) segmentValue(c *Context, ui int, seg mctree.Tree) float64 {
+	p := New(c.Topo.NumTasks())
+	p.AddAll(seg.Tasks)
+	return c.ScopedObjective(st.units[ui].Ops, p)
+}
+
+// step proposes the next expansion per one iteration of Algorithm 3
+// (PLANSTRUCTUREDTOPOLOGY): every non-replicated segment seeds a
+// candidate; a segment that alone does not raise the scoped OF is
+// extended by a BFS over the neighbouring units, each visited unit
+// contributing its best segment connected to the candidate, stopping
+// when maxCost would be exceeded. The candidate with the maximal profit
+// density is returned (nil when no affordable candidate exists).
+func (st *structuredState) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
+	if maxCost <= 0 {
+		return nil
+	}
+	baseOF := c.ScopedObjective(st.ops, cur)
+	type candidate struct {
+		tasks []topology.TaskID
+		cost  int
+	}
+	var candidates []candidate
+
+	newTasks := func(segs []mctree.Tree) ([]topology.TaskID, int) {
+		set := map[topology.TaskID]bool{}
+		for _, s := range segs {
+			for _, id := range s.Tasks {
+				if !cur.Has(id) {
+					set[id] = true
+				}
+			}
+		}
+		ids := make([]topology.TaskID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sortTaskIDs(ids)
+		return ids, len(ids)
+	}
+
+	for ui, unit := range st.units {
+		for _, seg := range unit.Segments {
+			if seg.NonReplicated(cur.Vector()) == 0 {
+				continue // segment already fully replicated
+			}
+			cg := []mctree.Tree{seg}
+			ids, cost := newTasks(cg)
+			if cost > maxCost {
+				continue
+			}
+			probe := cur.Clone()
+			probe.AddAll(ids)
+			if c.ScopedObjective(st.ops, probe) <= baseOF {
+				// The segment alone does not help: grow a connected set
+				// of segments across the units by BFS (Alg. 3 lines
+				// 10-15).
+				visited := map[int]bool{ui: true}
+				queue := append([]int(nil), st.adj[ui]...)
+				for len(queue) > 0 {
+					vi := queue[0]
+					queue = queue[1:]
+					if visited[vi] {
+						continue
+					}
+					visited[vi] = true
+					gj, ok := st.bestConnected(c, vi, cg, cur)
+					if !ok {
+						continue
+					}
+					_, curCost := newTasks(cg)
+					extra := gj.NonReplicated(cur.Vector())
+					if curCost+extra > maxCost {
+						break // Alg. 3 line 15: stop the BFS
+					}
+					cg = append(cg, gj)
+					for _, next := range st.adj[vi] {
+						if !visited[next] {
+							queue = append(queue, next)
+						}
+					}
+				}
+				ids, cost = newTasks(cg)
+				if cost > maxCost {
+					continue
+				}
+			}
+			if cost == 0 {
+				continue
+			}
+			candidates = append(candidates, candidate{tasks: ids, cost: cost})
+		}
+	}
+
+	// Select the candidate with the maximal profit density
+	// (OF(P ∪ CG) - OF(P)) / |CG| (Alg. 3 line 17).
+	bestDensity := -1.0
+	var best []topology.TaskID
+	for _, cand := range candidates {
+		probe := cur.Clone()
+		probe.AddAll(cand.tasks)
+		density := (c.ScopedObjective(st.ops, probe) - baseOF) / float64(cand.cost)
+		if density > bestDensity ||
+			(density == bestDensity && (best == nil || lessIDs(cand.tasks, best))) {
+			bestDensity = density
+			best = cand.tasks
+		}
+	}
+	return best
+}
+
+// bestConnected returns the segment of unit vi that is connected to the
+// candidate segment set and has the maximal standalone value.
+func (st *structuredState) bestConnected(c *Context, vi int, cg []mctree.Tree, cur Plan) (mctree.Tree, bool) {
+	bestVal := -1.0
+	var best mctree.Tree
+	found := false
+	for _, seg := range st.units[vi].Segments {
+		if seg.NonReplicated(cur.Vector()) == 0 {
+			continue
+		}
+		connected := false
+		for _, s := range cg {
+			if mctree.SegmentsConnected(c.Topo, seg, s) {
+				connected = true
+				break
+			}
+		}
+		if !connected {
+			continue
+		}
+		if v := st.segmentValue(c, vi, seg); v > bestVal {
+			bestVal = v
+			best = seg
+			found = true
+		}
+	}
+	return best, found
+}
+
+func lessIDs(a, b []topology.TaskID) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// StructuredTopology implements Algorithm 3: plan active replication
+// within a structured (sub-)topology under a budget of replicated tasks
+// within the scope, starting from an initial plan.
+func StructuredTopology(c *Context, ops []int, initial Plan, budget, maxSegments int) (Plan, error) {
+	st, err := newStructuredState(c, ops, maxSegments)
+	if err != nil {
+		return Plan{}, err
+	}
+	p := initial.Clone()
+	for {
+		used := scopeUsage(c.Topo, ops, p)
+		if used >= budget {
+			return p, nil
+		}
+		ids := st.step(c, p, budget-used)
+		if len(ids) == 0 {
+			return p, nil
+		}
+		p.AddAll(ids)
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim provides a minimal deterministic discrete-event simulation
+// kernel: a virtual clock with an event heap. All recovery-latency
+// experiments of the reproduction run on virtual time so that results
+// are reproducible bit-for-bit and independent of host speed, replacing
+// the paper's wall-clock EC2 measurements (see DESIGN.md §4).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in seconds.
+type Time float64
+
+// Millis returns the time in whole milliseconds, for reporting.
+func (t Time) Millis() float64 { return float64(t) * 1000 }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// Timer is a handle to a scheduled event, usable to cancel it.
+type Timer struct {
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.cancelled = true
+	}
+}
+
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	timer *Timer
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a deterministic discrete-event scheduler. Events scheduled
+// for the same instant fire in scheduling order. Not safe for concurrent
+// use: the whole simulation is single-threaded by design.
+type Clock struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewClock returns a clock at time zero with no pending events.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: it would make the simulation non-causal.
+func (c *Clock) At(t Time, fn func()) *Timer {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
+	}
+	timer := &Timer{}
+	c.seq++
+	heap.Push(&c.heap, &event{at: t, seq: c.seq, fn: fn, timer: timer})
+	return timer
+}
+
+// After schedules fn d seconds from now.
+func (c *Clock) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Pending returns the number of events still queued (including
+// cancelled ones not yet drained).
+func (c *Clock) Pending() int { return len(c.heap) }
+
+// Step fires the next event, advancing the clock, and reports whether
+// an event was fired.
+func (c *Clock) Step() bool {
+	for len(c.heap) > 0 {
+		e := heap.Pop(&c.heap).(*event)
+		if e.timer.cancelled {
+			continue
+		}
+		c.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain. maxEvents guards against runaway
+// simulations; Run panics when it is exceeded.
+func (c *Clock) Run(maxEvents int) {
+	for i := 0; ; i++ {
+		if i >= maxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events; runaway simulation?", maxEvents))
+		}
+		if !c.Step() {
+			return
+		}
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock
+// to the deadline.
+func (c *Clock) RunUntil(deadline Time) {
+	for {
+		e := c.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+func (c *Clock) peek() *event {
+	for len(c.heap) > 0 {
+		if c.heap[0].timer.cancelled {
+			heap.Pop(&c.heap)
+			continue
+		}
+		return c.heap[0]
+	}
+	return nil
+}

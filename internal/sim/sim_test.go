@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.At(2, func() { order = append(order, 2) })
+	c.At(1, func() { order = append(order, 1) })
+	c.At(3, func() { order = append(order, 3) })
+	c.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", c.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(5, func() { order = append(order, i) })
+	}
+	c.Run(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	c := NewClock()
+	var hits []Time
+	c.After(1, func() {
+		hits = append(hits, c.Now())
+		c.After(2, func() { hits = append(hits, c.Now()) })
+	})
+	c.Run(100)
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := NewClock()
+	fired := false
+	timer := c.At(1, func() { fired = true })
+	timer.Cancel()
+	c.Run(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+}
+
+func TestRunUntil(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	c.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 1 and 2", fired)
+	}
+	if c.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", c.Now())
+	}
+	c.Run(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v after Run", fired)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	c := NewClock()
+	c.At(5, func() {})
+	c.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for past event")
+		}
+	}()
+	c.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	c.After(-1, func() {})
+}
+
+func TestRunawayGuard(t *testing.T) {
+	c := NewClock()
+	var loop func()
+	loop = func() { c.After(1, loop) }
+	c.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected runaway panic")
+		}
+	}()
+	c.Run(50)
+}
+
+func TestPendingAndStep(t *testing.T) {
+	c := NewClock()
+	c.At(1, func() {})
+	c.At(2, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+	if !c.Step() || c.Now() != 1 {
+		t.Fatal("Step misbehaved")
+	}
+	if !c.Step() || c.Now() != 2 {
+		t.Fatal("second Step misbehaved")
+	}
+	if c.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if Time(1.5).String() != "1.500s" {
+		t.Errorf("String = %q", Time(1.5).String())
+	}
+	if Time(2).Millis() != 2000 {
+		t.Errorf("Millis = %v", Time(2).Millis())
+	}
+}

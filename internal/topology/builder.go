@@ -1,0 +1,345 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OpRef refers to an operator added to a Builder.
+type OpRef struct{ idx int }
+
+// Builder assembles and validates a Topology. The zero value is not
+// usable; call NewBuilder.
+type Builder struct {
+	ops   []*Operator
+	edges []Edge
+	err   error
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddSource adds a source operator with the given per-task output rate.
+func (b *Builder) AddSource(name string, parallelism int, ratePerTask float64) OpRef {
+	return b.add(&Operator{
+		Name:        name,
+		Kind:        Independent,
+		Parallelism: parallelism,
+		SourceRate:  ratePerTask,
+		Selectivity: 1,
+	})
+}
+
+// AddOperator adds a non-source operator.
+func (b *Builder) AddOperator(name string, parallelism int, kind InputKind, selectivity float64) OpRef {
+	return b.add(&Operator{
+		Name:        name,
+		Kind:        kind,
+		Parallelism: parallelism,
+		Selectivity: selectivity,
+	})
+}
+
+// SetWeights skews the workload distribution of the tasks of op. weights
+// must have one entry per task; they are normalised internally, only
+// ratios matter.
+func (b *Builder) SetWeights(op OpRef, weights []float64) {
+	if b.err != nil {
+		return
+	}
+	o := b.ops[op.idx]
+	if len(weights) != o.Parallelism {
+		b.err = fmt.Errorf("topology: operator %s has %d tasks but %d weights given", o.Name, o.Parallelism, len(weights))
+		return
+	}
+	for _, w := range weights {
+		if w <= 0 {
+			b.err = fmt.Errorf("topology: operator %s: weights must be positive, got %v", o.Name, w)
+			return
+		}
+	}
+	o.Weights = append([]float64(nil), weights...)
+}
+
+func (b *Builder) add(op *Operator) OpRef {
+	if b.err == nil {
+		if op.Parallelism <= 0 {
+			b.err = fmt.Errorf("topology: operator %s: parallelism must be positive, got %d", op.Name, op.Parallelism)
+		} else if op.Selectivity < 0 {
+			b.err = fmt.Errorf("topology: operator %s: selectivity must be non-negative, got %v", op.Name, op.Selectivity)
+		}
+	}
+	b.ops = append(b.ops, op)
+	return OpRef{idx: len(b.ops) - 1}
+}
+
+// Connect adds a stream from operator `from` to operator `to` with the
+// given partitioning. An operator cannot subscribe to itself (§II-A).
+func (b *Builder) Connect(from, to OpRef, part Partitioning) {
+	if b.err != nil {
+		return
+	}
+	if from.idx == to.idx {
+		b.err = fmt.Errorf("topology: operator %s cannot subscribe to itself", b.ops[from.idx].Name)
+		return
+	}
+	for _, e := range b.edges {
+		if e.From == from.idx && e.To == to.idx {
+			b.err = fmt.Errorf("topology: duplicate edge %s -> %s", b.ops[from.idx].Name, b.ops[to.idx].Name)
+			return
+		}
+	}
+	b.edges = append(b.edges, Edge{From: from.idx, To: to.idx, Part: part})
+}
+
+// Build validates the topology, derives the task-level graph and the
+// failure-free stream rates, and returns the immutable result.
+func (b *Builder) Build() (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.ops) == 0 {
+		return nil, errors.New("topology: no operators")
+	}
+	t := &Topology{Ops: b.ops, Edges: b.edges}
+	if err := t.derive(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Topology) derive() error {
+	n := len(t.Ops)
+	t.inEdges = make([][]int, n)
+	t.outEdges = make([][]int, n)
+	for i, e := range t.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("topology: edge %d references unknown operator", i)
+		}
+		t.outEdges[e.From] = append(t.outEdges[e.From], i)
+		t.inEdges[e.To] = append(t.inEdges[e.To], i)
+	}
+
+	order, err := t.topoSort()
+	if err != nil {
+		return err
+	}
+	t.opOrder = order
+
+	for i := range t.Ops {
+		if t.IsSource(i) {
+			if t.Ops[i].SourceRate <= 0 {
+				return fmt.Errorf("topology: source operator %s needs a positive source rate", t.Ops[i].Name)
+			}
+			t.sourceOps = append(t.sourceOps, i)
+		}
+		if t.IsSink(i) {
+			t.sinkOps = append(t.sinkOps, i)
+		}
+	}
+	if len(t.sourceOps) == 0 {
+		return errors.New("topology: no source operator")
+	}
+
+	// Validate partitioning arities.
+	for _, e := range t.Edges {
+		n1 := t.Ops[e.From].Parallelism
+		n2 := t.Ops[e.To].Parallelism
+		switch e.Part {
+		case OneToOne:
+			if n1 != n2 {
+				return fmt.Errorf("topology: one-to-one edge %s -> %s requires equal parallelism (%d vs %d)",
+					t.Ops[e.From].Name, t.Ops[e.To].Name, n1, n2)
+			}
+		case Split:
+			if n2 < n1 {
+				return fmt.Errorf("topology: split edge %s -> %s requires downstream parallelism >= upstream (%d vs %d)",
+					t.Ops[e.From].Name, t.Ops[e.To].Name, n1, n2)
+			}
+		case Merge:
+			if n1 < n2 {
+				return fmt.Errorf("topology: merge edge %s -> %s requires upstream parallelism >= downstream (%d vs %d)",
+					t.Ops[e.From].Name, t.Ops[e.To].Name, n1, n2)
+			}
+		case Full:
+			// always valid
+		default:
+			return fmt.Errorf("topology: unknown partitioning %d", e.Part)
+		}
+	}
+
+	// Assign task IDs, operator by operator.
+	for opIdx, op := range t.Ops {
+		ids := make([]TaskID, op.Parallelism)
+		for j := 0; j < op.Parallelism; j++ {
+			id := TaskID(len(t.Tasks))
+			w := 1.0
+			if op.Weights != nil {
+				w = op.Weights[j]
+			}
+			t.Tasks = append(t.Tasks, Task{ID: id, Op: opIdx, Index: j, Weight: w})
+			ids[j] = id
+		}
+		t.opTasks = append(t.opTasks, ids)
+	}
+
+	t.inputs = make([][]InputStream, len(t.Tasks))
+	t.outputs = make([][]Substream, len(t.Tasks))
+	t.outRate = make([]float64, len(t.Tasks))
+
+	// Walk operators in topological order, computing output rates and
+	// task-level substreams.
+	for _, opIdx := range t.opOrder {
+		op := t.Ops[opIdx]
+		for _, id := range t.opTasks[opIdx] {
+			if t.IsSource(opIdx) {
+				t.outRate[id] = op.SourceRate * t.Tasks[id].Weight / t.avgWeight(opIdx)
+				continue
+			}
+			var in float64
+			for _, is := range t.inputs[id] {
+				in += is.Rate()
+			}
+			t.outRate[id] = in * op.Selectivity
+		}
+		// Fan out along each outgoing operator edge.
+		for _, ei := range t.outEdges[opIdx] {
+			e := t.Edges[ei]
+			if err := t.wire(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// avgWeight returns the mean task weight of an operator, used to keep the
+// operator-level total source rate equal to parallelism*SourceRate
+// regardless of skew.
+func (t *Topology) avgWeight(op int) float64 {
+	var sum float64
+	ids := t.opTasks[op]
+	for _, id := range ids {
+		sum += t.Tasks[id].Weight
+	}
+	return sum / float64(len(ids))
+}
+
+// wire materialises the task-level substreams of one operator edge and
+// appends the downstream input stream entries.
+func (t *Topology) wire(e Edge) error {
+	ups := t.opTasks[e.From]
+	downs := t.opTasks[e.To]
+	// recipients[i] lists the downstream tasks the i-th upstream task
+	// sends to.
+	recipients := make([][]TaskID, len(ups))
+	switch e.Part {
+	case OneToOne:
+		for i := range ups {
+			recipients[i] = []TaskID{downs[i]}
+		}
+	case Split:
+		// Contiguous balanced ranges: downstream tasks are divided into
+		// len(ups) groups; group i receives from upstream task i only.
+		groups := balancedGroups(len(downs), len(ups))
+		for i := range ups {
+			for _, j := range groups[i] {
+				recipients[i] = append(recipients[i], downs[j])
+			}
+		}
+	case Merge:
+		// Upstream tasks are divided into len(downs) groups; all members
+		// of group j send to downstream task j only.
+		groups := balancedGroups(len(ups), len(downs))
+		for j := range downs {
+			for _, i := range groups[j] {
+				recipients[i] = append(recipients[i], downs[j])
+			}
+		}
+	case Full:
+		for i := range ups {
+			recipients[i] = append([]TaskID(nil), downs...)
+		}
+	}
+
+	// Substream rates: each upstream task's output is key-partitioned
+	// among its recipients proportionally to the recipients' workload
+	// weights.
+	inSubs := make(map[TaskID][]Substream)
+	for i, up := range ups {
+		recs := recipients[i]
+		if len(recs) == 0 {
+			return fmt.Errorf("topology: task %d of %s has no recipients on edge to %s",
+				i, t.Ops[e.From].Name, t.Ops[e.To].Name)
+		}
+		var wsum float64
+		for _, r := range recs {
+			wsum += t.Tasks[r].Weight
+		}
+		for _, r := range recs {
+			rate := t.outRate[up] * t.Tasks[r].Weight / wsum
+			inSubs[r] = append(inSubs[r], Substream{From: up, To: r, Rate: rate})
+			t.outputs[up] = append(t.outputs[up], Substream{From: up, To: r, Rate: rate})
+		}
+	}
+	for _, d := range downs {
+		subs := inSubs[d]
+		if len(subs) == 0 {
+			return fmt.Errorf("topology: task %d of %s receives nothing on edge from %s",
+				t.Tasks[d].Index, t.Ops[e.To].Name, t.Ops[e.From].Name)
+		}
+		t.inputs[d] = append(t.inputs[d], InputStream{FromOp: e.From, Subs: subs})
+	}
+	return nil
+}
+
+// balancedGroups partitions the integers [0,n) into k contiguous groups
+// whose sizes differ by at most one.
+func balancedGroups(n, k int) [][]int {
+	groups := make([][]int, k)
+	base := n / k
+	rem := n % k
+	idx := 0
+	for g := 0; g < k; g++ {
+		size := base
+		if g < rem {
+			size++
+		}
+		for s := 0; s < size; s++ {
+			groups[g] = append(groups[g], idx)
+			idx++
+		}
+	}
+	return groups
+}
+
+func (t *Topology) topoSort() ([]int, error) {
+	n := len(t.Ops)
+	indeg := make([]int, n)
+	for _, e := range t.Edges {
+		indeg[e.To]++
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		op := queue[0]
+		queue = queue[1:]
+		order = append(order, op)
+		for _, ei := range t.outEdges[op] {
+			to := t.Edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("topology: cycle detected; query topologies must be DAGs")
+	}
+	return order, nil
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec is a serialisable description of a topology, used by the command
+// line tools to exchange topologies as JSON.
+type Spec struct {
+	Operators []OpSpec   `json:"operators"`
+	Edges     []EdgeSpec `json:"edges"`
+}
+
+// OpSpec describes one operator in a Spec.
+type OpSpec struct {
+	Name        string    `json:"name"`
+	Parallelism int       `json:"parallelism"`
+	Kind        string    `json:"kind,omitempty"`        // "independent" (default) or "correlated"
+	Selectivity float64   `json:"selectivity,omitempty"` // default 1
+	SourceRate  float64   `json:"sourceRate,omitempty"`  // >0 marks a source
+	Weights     []float64 `json:"weights,omitempty"`
+}
+
+// EdgeSpec describes one operator-level edge in a Spec.
+type EdgeSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Part string `json:"partitioning"` // "one-to-one", "split", "merge", "full"
+}
+
+// ParsePartitioning converts the textual partitioning name used in specs.
+func ParsePartitioning(s string) (Partitioning, error) {
+	switch s {
+	case "one-to-one", "onetoone", "1:1":
+		return OneToOne, nil
+	case "split":
+		return Split, nil
+	case "merge":
+		return Merge, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("topology: unknown partitioning %q", s)
+}
+
+// ParseKind converts the textual input-kind name used in specs.
+func ParseKind(s string) (InputKind, error) {
+	switch s {
+	case "", "independent":
+		return Independent, nil
+	case "correlated", "join":
+		return Correlated, nil
+	}
+	return 0, fmt.Errorf("topology: unknown input kind %q", s)
+}
+
+// FromSpec builds a validated Topology from a Spec.
+func FromSpec(spec Spec) (*Topology, error) {
+	b := NewBuilder()
+	refs := make(map[string]OpRef, len(spec.Operators))
+	for _, os := range spec.Operators {
+		if _, dup := refs[os.Name]; dup {
+			return nil, fmt.Errorf("topology: duplicate operator name %q", os.Name)
+		}
+		sel := os.Selectivity
+		if sel == 0 {
+			sel = 1
+		}
+		var ref OpRef
+		if os.SourceRate > 0 {
+			ref = b.AddSource(os.Name, os.Parallelism, os.SourceRate)
+		} else {
+			kind, err := ParseKind(os.Kind)
+			if err != nil {
+				return nil, err
+			}
+			ref = b.AddOperator(os.Name, os.Parallelism, kind, sel)
+		}
+		if os.Weights != nil {
+			b.SetWeights(ref, os.Weights)
+		}
+		refs[os.Name] = ref
+	}
+	for _, es := range spec.Edges {
+		from, ok := refs[es.From]
+		if !ok {
+			return nil, fmt.Errorf("topology: edge references unknown operator %q", es.From)
+		}
+		to, ok := refs[es.To]
+		if !ok {
+			return nil, fmt.Errorf("topology: edge references unknown operator %q", es.To)
+		}
+		part, err := ParsePartitioning(es.Part)
+		if err != nil {
+			return nil, err
+		}
+		b.Connect(from, to, part)
+	}
+	return b.Build()
+}
+
+// ToSpec converts a Topology back into its serialisable Spec form.
+func ToSpec(t *Topology) Spec {
+	var spec Spec
+	for i, op := range t.Ops {
+		os := OpSpec{
+			Name:        op.Name,
+			Parallelism: op.Parallelism,
+			Selectivity: op.Selectivity,
+			Weights:     op.Weights,
+		}
+		if op.Kind == Correlated {
+			os.Kind = "correlated"
+		}
+		if t.IsSource(i) {
+			os.SourceRate = op.SourceRate
+		}
+		spec.Operators = append(spec.Operators, os)
+	}
+	for _, e := range t.Edges {
+		spec.Edges = append(spec.Edges, EdgeSpec{
+			From: t.Ops[e.From].Name,
+			To:   t.Ops[e.To].Name,
+			Part: e.Part.String(),
+		})
+	}
+	return spec
+}
+
+// ReadSpec decodes a JSON topology spec and builds the topology.
+func ReadSpec(r io.Reader) (*Topology, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("topology: decoding spec: %w", err)
+	}
+	return FromSpec(spec)
+}
+
+// WriteSpec encodes the topology's spec as indented JSON.
+func WriteSpec(w io.Writer, t *Topology) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToSpec(t))
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccessLogDeterminism(t *testing.T) {
+	m1 := NewAccessLogModel(42)
+	m2 := NewAccessLogModel(42)
+	for task := 0; task < 3; task++ {
+		for batch := 0; batch < 5; batch++ {
+			c1, r1 := m1.AccessCounts(task, batch)
+			c2, r2 := m2.AccessCounts(task, batch)
+			if r1 != r2 || len(c1) != len(c2) {
+				t.Fatalf("task %d batch %d: nondeterministic generation", task, batch)
+			}
+			for k, v := range c1 {
+				if c2[k] != v {
+					t.Fatalf("task %d batch %d object %d: %d vs %d", task, batch, k, v, c2[k])
+				}
+			}
+		}
+	}
+}
+
+func TestAccessLogVolume(t *testing.T) {
+	m := NewAccessLogModel(7)
+	counts, rest := m.AccessCounts(0, 0)
+	total := rest
+	for _, v := range counts {
+		total += v
+	}
+	// Total volume should be near the configured per-task rate (noise
+	// can push the materialised head slightly over).
+	if total < m.RatePerTask*9/10 || total > m.RatePerTask*12/10 {
+		t.Errorf("batch volume %d far from rate %d", total, m.RatePerTask)
+	}
+}
+
+func TestAccessLogSkew(t *testing.T) {
+	m := NewAccessLogModel(3)
+	// Aggregate over several batches: object 0 must dominate object 50.
+	tot0, tot50 := 0, 0
+	for b := 0; b < 20; b++ {
+		c, _ := m.AccessCounts(0, b)
+		tot0 += c[0]
+		tot50 += c[50]
+	}
+	if tot0 <= tot50 {
+		t.Errorf("object 0 count %d should exceed object 50 count %d", tot0, tot50)
+	}
+}
+
+func TestTrueTopK(t *testing.T) {
+	m := NewAccessLogModel(1)
+	top := m.TrueTopK(100)
+	if len(top) != 100 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0] != ObjectName(0) {
+		t.Errorf("top[0] = %q", top[0])
+	}
+	if got := m.TrueTopK(1 << 20); len(got) != m.Objects {
+		t.Errorf("TrueTopK over objects = %d entries", len(got))
+	}
+}
+
+func TestTrafficUsersDistribution(t *testing.T) {
+	m := NewTrafficModel(11)
+	total := 0
+	for i := 0; i < m.Segments; i++ {
+		total += m.UsersOn(i)
+	}
+	if math.Abs(float64(total-m.Users)) > float64(m.Users)/100 {
+		t.Errorf("total users %d far from %d", total, m.Users)
+	}
+	if m.UsersOn(0) <= m.UsersOn(m.Segments-1) {
+		t.Error("user distribution not skewed")
+	}
+}
+
+func TestIncidentsPeriodic(t *testing.T) {
+	m := NewTrafficModel(5)
+	for b := 0; b < 10; b++ {
+		inc, ok := m.IncidentAt(b)
+		if b%m.IncidentEveryBatches == 0 {
+			if !ok {
+				t.Errorf("batch %d: expected incident", b)
+			} else if inc.Batch != b {
+				t.Errorf("incident batch = %d, want %d", inc.Batch, b)
+			}
+		} else if ok {
+			t.Errorf("batch %d: unexpected incident", b)
+		}
+	}
+	// deterministic
+	a, _ := m.IncidentAt(4)
+	b, _ := m.IncidentAt(4)
+	if a != b {
+		t.Error("IncidentAt nondeterministic")
+	}
+}
+
+func TestJamDepressesSpeed(t *testing.T) {
+	m := NewTrafficModel(9)
+	var jam Incident
+	found := false
+	for b := 0; b < 40 && !found; b++ {
+		if inc, ok := m.IncidentAt(b); ok && inc.Jam {
+			jam = inc
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no jam-causing incident in 40 batches")
+	}
+	if v := m.SpeedOf(jam.Segment, jam.Batch); v != m.JamSpeed {
+		t.Errorf("speed during jam = %v, want %v", v, m.JamSpeed)
+	}
+	if v := m.SpeedOf(jam.Segment, jam.Batch+m.JamDurationBatches+1); v <= m.JamSpeed+5 {
+		t.Errorf("speed after jam = %v, want back to normal", v)
+	}
+}
+
+func TestLocRecordsVolume(t *testing.T) {
+	m := NewTrafficModel(2)
+	recs := m.LocRecords(0)
+	total := 0
+	for _, r := range recs {
+		total += r
+	}
+	if math.Abs(float64(total-m.LocRecordsPerBatch)) > float64(m.LocRecordsPerBatch)/50 {
+		t.Errorf("loc volume %d far from %d", total, m.LocRecordsPerBatch)
+	}
+}
+
+func TestTrueJams(t *testing.T) {
+	m := NewTrafficModel(13)
+	jams := m.TrueJams(0, 100)
+	if len(jams) == 0 {
+		t.Fatal("no jams in 100 batches")
+	}
+	// roughly JamProbability of the incidents
+	incidents := 0
+	for b := 0; b <= 100; b++ {
+		if _, ok := m.IncidentAt(b); ok {
+			incidents++
+		}
+	}
+	frac := float64(len(jams)) / float64(incidents)
+	if frac < 0.4 || frac > 0.95 {
+		t.Errorf("jam fraction %v far from %v", frac, m.JamProbability)
+	}
+}
+
+func TestZipfCDF(t *testing.T) {
+	z := newZipfCDF(10, 1)
+	var sum float64
+	for i := 0; i < 10; i++ {
+		w := z.weight(i)
+		if w <= 0 {
+			t.Errorf("weight(%d) = %v", i, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if z.weight(0) <= z.weight(9) {
+		t.Error("zipf weights not decreasing")
+	}
+}

@@ -1,0 +1,245 @@
+// Package ppa is the public API of the PPA reproduction — the Passive
+// and Partially Active fault-tolerance framework for massively parallel
+// stream processing engines of Su & Zhou, "Tolerating Correlated
+// Failures in Massively Parallel Stream Processing Engines" (ICDE
+// 2016).
+//
+// The package re-exports the curated surface of the internal
+// implementation:
+//
+//   - building query topologies (operators, tasks, partitionings);
+//   - the Output Fidelity / Internal Completeness quality metrics;
+//   - the replication-plan optimisers (dynamic programming, greedy,
+//     structure-aware);
+//   - the deterministic discrete-event streaming engine with
+//     checkpointing, active replication, failure injection, recovery
+//     and tentative outputs;
+//   - the evaluation workloads (top-k over an access log, traffic
+//     incident detection, the synthetic recovery topology) and the
+//     drivers regenerating every figure of the paper's evaluation.
+//
+// See the examples/ directory for runnable end-to-end scenarios and
+// DESIGN.md for the architecture.
+package ppa
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fidelity"
+	"repro/internal/mctree"
+	"repro/internal/plan"
+	"repro/internal/randtopo"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// --- Topology model ---
+
+// Topology is a validated task-level query DAG with failure-free stream
+// rates. Build one with NewBuilder or FromSpec.
+type Topology = topology.Topology
+
+// Builder assembles topologies.
+type Builder = topology.Builder
+
+// OpRef refers to an operator added to a Builder.
+type OpRef = topology.OpRef
+
+// TaskID identifies a task within a topology.
+type TaskID = topology.TaskID
+
+// Partitioning describes how a stream is partitioned between
+// neighbouring operators.
+type Partitioning = topology.Partitioning
+
+// Partitioning kinds (§II-A of the paper).
+const (
+	OneToOne = topology.OneToOne
+	Split    = topology.Split
+	Merge    = topology.Merge
+	Full     = topology.Full
+)
+
+// InputKind classifies operators by input correlation.
+type InputKind = topology.InputKind
+
+// Input kinds: Independent unions its input streams, Correlated joins
+// them (§III-A1).
+const (
+	Independent = topology.Independent
+	Correlated  = topology.Correlated
+)
+
+// Spec is the JSON-serialisable topology description used by the CLI
+// tools.
+type Spec = topology.Spec
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder { return topology.NewBuilder() }
+
+// FromSpec builds a topology from its serialisable description.
+func FromSpec(s Spec) (*Topology, error) { return topology.FromSpec(s) }
+
+// ToSpec converts a topology back to its description.
+func ToSpec(t *Topology) Spec { return topology.ToSpec(t) }
+
+// --- Quality metrics ---
+
+// FidelityModel evaluates Output Fidelity (Eq. 1-4) and Internal
+// Completeness for one topology.
+type FidelityModel = fidelity.Model
+
+// FidelityEvaluator holds reusable evaluation state.
+type FidelityEvaluator = fidelity.Evaluator
+
+// NewFidelityModel builds a metric model for the topology.
+func NewFidelityModel(t *Topology) *FidelityModel { return fidelity.NewModel(t) }
+
+// --- MC-trees ---
+
+// MCTree is a minimal complete tree (Definition 1).
+type MCTree = mctree.Tree
+
+// EnumerateMCTrees lists the MC-trees of a topology (capped).
+func EnumerateMCTrees(t *Topology, maxTrees int) ([]MCTree, error) {
+	return mctree.Enumerate(t, maxTrees)
+}
+
+// CountMCTrees counts MC-tree derivations without enumeration.
+func CountMCTrees(t *Topology) float64 { return mctree.Count(t) }
+
+// MinMCTreeSize returns the size of the smallest MC-tree — the minimum
+// useful replication budget.
+func MinMCTreeSize(t *Topology) int { return mctree.MinTreeSize(t) }
+
+// --- Planning ---
+
+// Plan is a partially active replication plan (the set of tasks chosen
+// for active replication).
+type Plan = plan.Plan
+
+// Manager computes PPA replication plans for one topology.
+type Manager = core.Manager
+
+// Algorithm selects the plan optimiser.
+type Algorithm = core.Algorithm
+
+// Planning algorithms (§IV).
+const (
+	SA     = core.AlgorithmSA
+	DP     = core.AlgorithmDP
+	Greedy = core.AlgorithmGreedy
+	SAIC   = core.AlgorithmSAIC
+)
+
+// PlanResult is a computed plan with its predicted quality metrics.
+type PlanResult = core.Result
+
+// NewManager builds a plan manager for the topology.
+func NewManager(t *Topology) *Manager { return core.NewManager(t) }
+
+// PlanDiff computes the dynamic-adaptation delta between two plans
+// (§V-C): replicas to create and replicas to deactivate.
+func PlanDiff(old, new Plan) (activate, deactivate []TaskID) {
+	return core.Diff(old, new)
+}
+
+// --- Cluster ---
+
+// Cluster models processing and standby nodes with task placement.
+type Cluster = cluster.Cluster
+
+// NodeID identifies a cluster node.
+type NodeID = cluster.NodeID
+
+// NewCluster builds a cluster with the given node counts.
+func NewCluster(processing, standby int) *Cluster {
+	return cluster.New(processing, standby)
+}
+
+// --- Engine ---
+
+// Engine executes a topology on the deterministic discrete-event
+// kernel with PPA fault tolerance.
+type Engine = engine.Engine
+
+// EngineSetup describes an engine instance.
+type EngineSetup = engine.Setup
+
+// EngineConfig is the engine cost model and fault-tolerance
+// configuration.
+type EngineConfig = engine.Config
+
+// Strategy selects the fault-tolerance technique protecting a task.
+type Strategy = engine.Strategy
+
+// Fault-tolerance strategies.
+const (
+	StrategyCheckpoint   = engine.StrategyCheckpoint
+	StrategyActive       = engine.StrategyActive
+	StrategySourceReplay = engine.StrategySourceReplay
+	StrategyNone         = engine.StrategyNone
+)
+
+// Tuple is one data item.
+type Tuple = engine.Tuple
+
+// Batch is the content of one processing batch on one substream.
+type Batch = engine.Batch
+
+// Emitter receives operator outputs.
+type Emitter = engine.Emitter
+
+// OperatorFunc is the user-defined function run by each task.
+type OperatorFunc = engine.OperatorFunc
+
+// OperatorFactory builds per-task operator instances.
+type OperatorFactory = engine.OperatorFactory
+
+// SourceFunc generates source batches deterministically.
+type SourceFunc = engine.SourceFunc
+
+// SourceFactory builds per-task sources.
+type SourceFactory = engine.SourceFactory
+
+// FuncSource adapts a function to SourceFunc.
+type FuncSource = engine.FuncSource
+
+// SinkRecord is one output tuple observed at a sink task.
+type SinkRecord = engine.SinkRecord
+
+// RecoveryStat records one task failure's detection and recovery.
+type RecoveryStat = engine.RecoveryStat
+
+// Time is virtual time in seconds.
+type Time = sim.Time
+
+// NewEngine builds an engine.
+func NewEngine(s EngineSetup) (*Engine, error) { return engine.New(s) }
+
+// NewWindowCountFactory builds the synthetic windowed operator of the
+// recovery experiments.
+func NewWindowCountFactory(windowBatches int, selectivity float64) OperatorFactory {
+	return engine.NewWindowCountFactory(windowBatches, selectivity)
+}
+
+// NewCountSourceFactory builds a constant-rate unmaterialised source.
+func NewCountSourceFactory(perBatch int) SourceFactory {
+	return engine.NewCountSourceFactory(perBatch)
+}
+
+// NewPassthroughFactory builds a stateless forwarding operator.
+func NewPassthroughFactory() OperatorFactory { return engine.NewPassthroughFactory() }
+
+// --- Random topologies ---
+
+// RandomSpec controls the §VI-C random topology generator.
+type RandomSpec = randtopo.Spec
+
+// DefaultRandomSpec returns the paper's baseline random-topology
+// specification.
+func DefaultRandomSpec(seed int64) RandomSpec { return randtopo.DefaultSpec(seed) }
+
+// GenerateRandom builds a random topology from the spec.
+func GenerateRandom(spec RandomSpec) (*Topology, error) { return randtopo.Generate(spec) }

@@ -1,0 +1,147 @@
+package ppa_test
+
+import (
+	"testing"
+
+	"repro/ppa"
+)
+
+// TestEndToEnd exercises the full public API: build a topology, compute
+// a PPA plan, run the engine with a correlated failure and observe
+// tentative outputs plus recovery.
+func TestEndToEnd(t *testing.T) {
+	b := ppa.NewBuilder()
+	src := b.AddSource("src", 4, 1000)
+	agg := b.AddOperator("agg", 2, ppa.Independent, 0.5)
+	top := b.AddOperator("top", 1, ppa.Independent, 0.1)
+	b.Connect(src, agg, ppa.Merge)
+	b.Connect(agg, top, ppa.Merge)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mgr := ppa.NewManager(topo)
+	res, err := mgr.Plan(ppa.SA, mgr.BudgetForFraction(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OF <= 0 {
+		t.Fatalf("plan OF = %v, want > 0 at 50%% resources", res.OF)
+	}
+
+	clus := ppa.NewCluster(7, 4)
+	if err := clus.PlaceRoundRobin(topo); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ppa.NewEngine(ppa.EngineSetup{
+		Topology: topo,
+		Cluster:  clus,
+		Config: ppa.EngineConfig{
+			CheckpointInterval: 5,
+			TentativeOutputs:   true,
+		},
+		Sources:    map[int]ppa.SourceFactory{0: ppa.NewCountSourceFactory(1000)},
+		Operators:  map[int]ppa.OperatorFactory{1: ppa.NewWindowCountFactory(10, 0.5), 2: ppa.NewWindowCountFactory(10, 0.1)},
+		Strategies: mgr.Strategies(res.Plan, ppa.StrategyCheckpoint),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ScheduleCorrelatedFailure(20.3)
+	eng.Run(120)
+
+	stats := eng.RecoveryStats()
+	if len(stats) == 0 {
+		t.Fatal("no failures recorded")
+	}
+	for _, st := range stats {
+		if !st.Recovered {
+			t.Errorf("task %d (%s) not recovered", st.Task, st.Strategy)
+		}
+	}
+}
+
+func TestSpecRoundTripPublic(t *testing.T) {
+	b := ppa.NewBuilder()
+	src := b.AddSource("s", 2, 100)
+	op := b.AddOperator("o", 2, ppa.Correlated, 0.5)
+	b.Connect(src, op, ppa.Full)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo2, err := ppa.FromSpec(ppa.ToSpec(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo2.NumTasks() != topo.NumTasks() {
+		t.Errorf("round trip lost tasks: %d vs %d", topo2.NumTasks(), topo.NumTasks())
+	}
+}
+
+func TestMetricsAndTrees(t *testing.T) {
+	b := ppa.NewBuilder()
+	s1 := b.AddSource("s1", 2, 100)
+	s2 := b.AddSource("s2", 2, 100)
+	j := b.AddOperator("join", 2, ppa.Correlated, 0.5)
+	b.Connect(s1, j, ppa.Full)
+	b.Connect(s2, j, ppa.Full)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := ppa.EnumerateMCTrees(topo, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 8 { // 2 x 2 source choices x 2 join tasks
+		t.Errorf("trees = %d, want 8", len(trees))
+	}
+	if got := ppa.CountMCTrees(topo); got != 8 {
+		t.Errorf("count = %v, want 8", got)
+	}
+	if got := ppa.MinMCTreeSize(topo); got != 3 {
+		t.Errorf("min tree size = %d, want 3", got)
+	}
+	ev := ppa.NewFidelityModel(topo).NewEvaluator()
+	failed := make([]bool, topo.NumTasks())
+	if of := ev.OF(failed); of != 1 {
+		t.Errorf("OF = %v, want 1", of)
+	}
+}
+
+func TestPlanDiff(t *testing.T) {
+	b := ppa.NewBuilder()
+	src := b.AddSource("s", 2, 100)
+	op := b.AddOperator("o", 2, ppa.Independent, 1)
+	b.Connect(src, op, ppa.OneToOne)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := ppa.NewManager(topo)
+	small, err := mgr.Plan(ppa.SA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := mgr.Plan(ppa.SA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, deact := ppa.PlanDiff(small.Plan, large.Plan)
+	if len(act) != large.Plan.Size()-small.Plan.Size() || len(deact) != 0 {
+		t.Errorf("diff = +%v -%v", act, deact)
+	}
+}
+
+func TestRandomGeneration(t *testing.T) {
+	spec := ppa.DefaultRandomSpec(5)
+	topo, err := ppa.GenerateRandom(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumOps() < 5 || topo.NumOps() > 10 {
+		t.Errorf("ops = %d", topo.NumOps())
+	}
+}
