@@ -11,6 +11,9 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/randtopo"
+	"repro/internal/topology"
 )
 
 // reportSeries attaches selected series points as custom benchmark
@@ -203,5 +206,114 @@ func BenchmarkFig14dJoinFraction(b *testing.B) {
 		if i == 0 {
 			reportSeries(b, r, "of", map[string]string{"SA-NoJoin": "0.4", "SA-Join-50%": "0.4"})
 		}
+	}
+}
+
+// --- Planner benchmarks (not tied to a paper figure) ---
+
+// benchSizes are the random-topology sizes of the planner-comparison
+// benchmark: small is brute-force/DP territory, medium is the paper's
+// §VI-C baseline, large stresses the sub-topology machinery.
+var benchSizes = []struct {
+	name           string
+	minOps, maxOps int
+	minPar, maxPar int
+}{
+	{"small", 4, 4, 1, 3},
+	{"medium", 5, 10, 1, 10},
+	{"large", 12, 16, 5, 15},
+}
+
+func benchTopology(b *testing.B, minOps, maxOps, minPar, maxPar int) *topology.Topology {
+	spec := randtopo.DefaultSpec(4242)
+	spec.MinOps, spec.MaxOps = minOps, maxOps
+	spec.MinPar, spec.MaxPar = minPar, maxPar
+	topo, err := randtopo.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// BenchmarkPlanners compares every planner on small/medium/large random
+// topologies at a 40% replication budget, quantifying the memoized
+// objective evaluation and parallel candidate search on the planner hot
+// path. A fresh context per iteration makes each measurement a full
+// cold planning run. Planners that cannot handle a size (DP past its
+// state cap, brute force past 24 tasks) are skipped.
+func BenchmarkPlanners(b *testing.B) {
+	for _, name := range []string{"greedy", "full", "structured", "sa", "portfolio", "dp", "brute"} {
+		pl, ok := plan.Lookup(name)
+		if !ok {
+			b.Fatalf("planner %q not registered", name)
+		}
+		for _, size := range benchSizes {
+			topo := benchTopology(b, size.minOps, size.maxOps, size.minPar, size.maxPar)
+			budget := 2 * topo.NumTasks() / 5
+			b.Run(name+"/"+size.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ctx := plan.NewContext(topo)
+					p, err := pl.Plan(ctx, budget)
+					if err != nil {
+						b.Skipf("%s on %s: %v", name, size.name, err)
+					}
+					if i == 0 {
+						b.ReportMetric(ctx.OF(p), "of")
+						b.ReportMetric(float64(topo.NumTasks()), "tasks")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMemoizedObjective isolates the memoization win on the
+// planner hot path: a Fig. 14-style budget sweep (both SA objectives at
+// five replication ratios, the workload of experiments and the plan
+// Manager) over one shared context, with the objective caches enabled
+// vs disabled. Candidate plans probed at one budget are cache hits at
+// the next.
+func BenchmarkMemoizedObjective(b *testing.B) {
+	topo := benchTopology(b, 5, 10, 1, 10)
+	for _, mode := range []struct {
+		name string
+		memo bool
+	}{{"memoized", true}, {"unmemoized", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := plan.NewContext(topo)
+				ctx.SetMemoize(mode.memo)
+				for _, frac := range []float64{0.1, 0.2, 0.4, 0.6, 0.8} {
+					budget := int(frac * float64(topo.NumTasks()))
+					if _, err := plan.MustLookup("sa").Plan(ctx, budget); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := plan.MustLookup("sa-ic").Plan(ctx, budget); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSearch isolates the worker-pool win on the SA
+// segment enumeration: one worker vs GOMAXPROCS on the large topology.
+func BenchmarkParallelSearch(b *testing.B) {
+	topo := benchTopology(b, 12, 16, 5, 15)
+	budget := 2 * topo.NumTasks() / 5
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := plan.NewContext(topo)
+				sa := plan.SA{Opts: plan.SAOptions{Workers: mode.workers}}
+				if _, err := sa.Plan(ctx, budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

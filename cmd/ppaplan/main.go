@@ -1,18 +1,23 @@
 // Command ppaplan computes a partially active replication plan for a
 // query topology given as a JSON spec (see internal/topology.Spec),
 // printing the chosen tasks and the plan's predicted Output Fidelity
-// and Internal Completeness.
+// and Internal Completeness. Any planner registered in the plan
+// registry can be selected by name, including the portfolio
+// meta-planner that races all of them.
 //
 // Usage:
 //
-//	ppaplan -topology topo.json -algorithm sa -fraction 0.5
-//	topogen -seed 7 | ppaplan -algorithm greedy -budget 10
+//	ppaplan -topology topo.json -planner sa -fraction 0.5
+//	topogen -seed 7 | ppaplan -planner greedy -budget 10
+//	topogen -seed 7 | ppaplan -planner portfolio
+//	ppaplan -list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/topology"
@@ -21,11 +26,32 @@ import (
 func main() {
 	var (
 		topoPath = flag.String("topology", "-", "topology spec JSON file ('-' for stdin)")
-		algName  = flag.String("algorithm", "sa", "planning algorithm: sa, dp, greedy, sa-ic")
+		planner  = flag.String("planner", "sa", "planner name (see -list)")
+		algName  = flag.String("algorithm", "", "deprecated alias of -planner")
 		budget   = flag.Int("budget", -1, "replication budget in tasks (overrides -fraction)")
 		fraction = flag.Float64("fraction", 0.5, "replication budget as a fraction of the task count")
+		list     = flag.Bool("list", false, "list the registered planners and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(core.Planners(), "\n"))
+		return
+	}
+
+	plannerSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "planner" {
+			plannerSet = true
+		}
+	})
+	name := *planner
+	if *algName != "" {
+		if plannerSet && *algName != *planner {
+			fatal(fmt.Errorf("conflicting -planner %q and -algorithm %q", *planner, *algName))
+		}
+		name = *algName
+	}
 
 	in := os.Stdin
 	if *topoPath != "-" {
@@ -41,32 +67,18 @@ func main() {
 		fatal(err)
 	}
 
-	var alg core.Algorithm
-	switch *algName {
-	case "sa":
-		alg = core.AlgorithmSA
-	case "dp":
-		alg = core.AlgorithmDP
-	case "greedy":
-		alg = core.AlgorithmGreedy
-	case "sa-ic":
-		alg = core.AlgorithmSAIC
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q (want sa, dp, greedy, sa-ic)", *algName))
-	}
-
 	mgr := core.NewManager(topo)
 	b := *budget
 	if b < 0 {
 		b = mgr.BudgetForFraction(*fraction)
 	}
-	res, err := mgr.Plan(alg, b)
+	res, err := mgr.PlanByName(name, b)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("topology: %d operators, %d tasks\n", topo.NumOps(), topo.NumTasks())
-	fmt.Printf("algorithm: %s, budget: %d tasks\n", res.Algorithm, res.Budget)
+	fmt.Printf("planner: %s, budget: %d tasks\n", res.Planner, res.Budget)
 	fmt.Printf("plan size: %d tasks\n", res.Plan.Size())
 	fmt.Printf("predicted OF: %.4f\n", res.OF)
 	fmt.Printf("predicted IC: %.4f\n", res.IC)

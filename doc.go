@@ -2,9 +2,10 @@
 // "Tolerating Correlated Failures in Massively Parallel Stream
 // Processing Engines" (ICDE 2016) — rebuilt as a Go library.
 //
-// Import repro/ppa for the public API; see README.md, DESIGN.md and
-// EXPERIMENTS.md. The benchmarks in bench_test.go regenerate every
-// figure of the paper's evaluation section:
+// Import repro/ppa for the public API; see README.md for the package
+// layout and DESIGN.md for the architecture. The benchmarks in
+// bench_test.go regenerate every figure of the paper's evaluation
+// section and compare the replication planners:
 //
 //	go test -bench=. -benchmem .
 package repro

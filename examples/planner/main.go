@@ -1,8 +1,10 @@
-// Planner example: compare the three replication-plan optimisers (DP,
-// structure-aware, greedy) on random query topologies of §VI-C — the
-// paper's Fig. 13/14 story at example scale. The structure-aware
-// algorithm tracks the optimum while the greedy baseline collapses at
-// small replication budgets because it ignores MC-tree completeness.
+// Planner example: compare the replication-plan optimisers (DP,
+// structure-aware, greedy, and the portfolio that races all registered
+// planners) on random query topologies of §VI-C — the paper's
+// Fig. 13/14 story at example scale. The structure-aware algorithm
+// tracks the optimum while the greedy baseline collapses at small
+// replication budgets because it ignores MC-tree completeness; the
+// portfolio is never worse than any single planner.
 package main
 
 import (
@@ -20,6 +22,7 @@ func main() {
 	spec.MinPar, spec.MaxPar = 1, 3
 	spec.Skew = 0.5
 
+	planners := []string{"dp", "sa", "greedy", "portfolio"}
 	for i := 0; i < 3; i++ {
 		s := spec
 		s.Seed = spec.Seed + int64(i)*17
@@ -31,32 +34,32 @@ func main() {
 
 		mgr := core.NewManager(topo)
 		fmt.Printf("  %-10s", "resources")
-		for _, alg := range []core.Algorithm{core.AlgorithmDP, core.AlgorithmSA, core.AlgorithmGreedy} {
-			fmt.Printf("%12s", alg.String()+"-OF")
+		for _, name := range planners {
+			fmt.Printf("%14s", name+"-OF")
 		}
 		fmt.Println()
 		for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
 			budget := mgr.BudgetForFraction(frac)
 			fmt.Printf("  %-10.2f", frac)
-			for _, alg := range []core.Algorithm{core.AlgorithmDP, core.AlgorithmSA, core.AlgorithmGreedy} {
-				res, err := mgr.Plan(alg, budget)
+			for _, name := range planners {
+				res, err := mgr.PlanByName(name, budget)
 				if err != nil {
 					// DP may exceed its search cap on some topologies.
-					fmt.Printf("%12s", "n/a")
+					fmt.Printf("%14s", "n/a")
 					continue
 				}
-				fmt.Printf("%12.3f", res.OF)
+				fmt.Printf("%14.3f", res.OF)
 			}
 			fmt.Println()
 		}
 
 		// Demonstrate dynamic plan adaptation (§V-C): growing the budget
 		// reuses existing replicas and only activates the delta.
-		small, err := mgr.Plan(core.AlgorithmSA, mgr.BudgetForFraction(0.25))
+		small, err := mgr.PlanByName("sa", mgr.BudgetForFraction(0.25))
 		if err != nil {
 			log.Fatal(err)
 		}
-		large, err := mgr.Plan(core.AlgorithmSA, mgr.BudgetForFraction(0.5))
+		large, err := mgr.PlanByName("sa", mgr.BudgetForFraction(0.5))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,13 +68,17 @@ func main() {
 			len(activate), len(deactivate))
 	}
 
-	// The MC-tree view of one topology.
+	// The MC-tree view of one topology, through the raw Planner
+	// interface.
 	topo, err := randtopo.Generate(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctx := plan.NewContext(topo)
-	g := plan.Greedy(ctx, 3)
+	g, err := plan.MustLookup("greedy").Plan(ctx, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("greedy with budget 3 picks %v -> worst-case OF %.3f (no complete MC-tree)\n",
 		g.Tasks(), ctx.OF(g))
 }

@@ -33,6 +33,14 @@ const (
 	// metric instead of OF — the paper's Fig. 12 "SA algorithm with IC
 	// as the optimization metric".
 	AlgorithmSAIC
+	// AlgorithmPortfolio races every registered planner concurrently
+	// and keeps the best plan.
+	AlgorithmPortfolio
+
+	// AlgorithmOther marks a Result produced by a registry planner with
+	// no Algorithm enum value (structured, full, brute, or a
+	// user-registered planner); Result.Planner carries the name.
+	AlgorithmOther Algorithm = -1
 )
 
 // String names the algorithm as in the paper's figures.
@@ -44,16 +52,52 @@ func (a Algorithm) String() string {
 		return "Greedy"
 	case AlgorithmSAIC:
 		return "SA-IC"
+	case AlgorithmPortfolio:
+		return "Portfolio"
+	case AlgorithmOther:
+		return "Other"
 	default:
 		return "SA"
 	}
 }
 
+// AlgorithmFor maps a registry planner name back to its Algorithm
+// value; ok is false for planners without one.
+func AlgorithmFor(name string) (Algorithm, bool) {
+	for a, n := range algorithmNames {
+		if n == name {
+			return a, true
+		}
+	}
+	return AlgorithmOther, false
+}
+
+// algorithmNames is the single Algorithm <-> planner-name table both
+// PlannerName and AlgorithmFor derive from.
+var algorithmNames = map[Algorithm]string{
+	AlgorithmSA:        "sa",
+	AlgorithmDP:        "dp",
+	AlgorithmGreedy:    "greedy",
+	AlgorithmSAIC:      "sa-ic",
+	AlgorithmPortfolio: "portfolio",
+}
+
+// PlannerName maps the algorithm to its plan-registry planner name.
+func (a Algorithm) PlannerName() string {
+	if name, ok := algorithmNames[a]; ok {
+		return name
+	}
+	return "sa"
+}
+
 // Result is a computed PPA replication plan with its predicted quality.
 type Result struct {
 	Algorithm Algorithm
-	Budget    int
-	Plan      plan.Plan
+	// Planner is the registry name of the planner that produced the
+	// plan (e.g. "sa", "dp", "portfolio").
+	Planner string
+	Budget  int
+	Plan    plan.Plan
 	// OF is the worst-case Output Fidelity of the plan (Eq. 4 under the
 	// §IV correlated-failure assumption).
 	OF float64
@@ -94,31 +138,43 @@ func (m *Manager) BudgetForFraction(frac float64) int {
 // Plan computes a partially active replication plan with the given
 // algorithm and budget (number of actively replicated tasks).
 func (m *Manager) Plan(alg Algorithm, budget int) (Result, error) {
-	var p plan.Plan
-	var err error
 	switch alg {
-	case AlgorithmDP:
-		p, err = plan.DynamicProgramming(m.ctx, budget, plan.DPOptions{})
-	case AlgorithmGreedy:
-		p = plan.Greedy(m.ctx, budget)
-	case AlgorithmSAIC:
-		p, err = plan.StructureAware(m.ctx, budget, plan.SAOptions{Metric: plan.MetricIC})
-	case AlgorithmSA:
-		p, err = plan.StructureAware(m.ctx, budget, plan.SAOptions{})
+	case AlgorithmSA, AlgorithmDP, AlgorithmGreedy, AlgorithmSAIC, AlgorithmPortfolio:
 	default:
 		return Result{}, fmt.Errorf("core: unknown algorithm %d", alg)
 	}
+	res, err := m.PlanByName(alg.PlannerName(), budget)
 	if err != nil {
-		return Result{}, fmt.Errorf("core: %s planning: %w", alg, err)
+		return Result{}, err
 	}
+	res.Algorithm = alg
+	return res, nil
+}
+
+// PlanByName computes a plan with any planner registered in the plan
+// package (see plan.Names), including user-registered ones.
+func (m *Manager) PlanByName(name string, budget int) (Result, error) {
+	pl, ok := plan.Lookup(name)
+	if !ok {
+		return Result{}, fmt.Errorf("core: unknown planner %q (registered: %v)", name, plan.Names())
+	}
+	p, err := pl.Plan(m.ctx, budget)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s planning: %w", name, err)
+	}
+	alg, _ := AlgorithmFor(name)
 	return Result{
 		Algorithm: alg,
+		Planner:   name,
 		Budget:    budget,
 		Plan:      p,
 		OF:        m.ctx.OF(p),
 		IC:        m.ctx.IC(p),
 	}, nil
 }
+
+// Planners lists the names of the registered planners.
+func Planners() []string { return plan.Names() }
 
 // Strategies converts a plan into the per-task engine strategy vector:
 // tasks in the plan get active replicas, all others use the passive

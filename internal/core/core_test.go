@@ -161,3 +161,49 @@ func TestAlgorithmString(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanByName(t *testing.T) {
+	m := NewManager(testTopo(t))
+	for _, name := range Planners() {
+		res, err := m.PlanByName(name, 3)
+		if err != nil {
+			if name == "full" {
+				continue // testTopo is not a full topology; a clean error is correct
+			}
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Planner != name {
+			t.Errorf("%s: result planner = %q", name, res.Planner)
+		}
+		if res.Plan.Size() > 3 {
+			t.Errorf("%s: plan size %d exceeds budget", name, res.Plan.Size())
+		}
+	}
+	if _, err := m.PlanByName("no-such-planner", 3); err == nil {
+		t.Error("PlanByName accepted an unknown planner")
+	}
+}
+
+func TestPlanPortfolioAlgorithm(t *testing.T) {
+	m := NewManager(testTopo(t))
+	res, err := m.Plan(AlgorithmPortfolio, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != AlgorithmPortfolio || res.Planner != "portfolio" {
+		t.Errorf("result identifies as %v/%q", res.Algorithm, res.Planner)
+	}
+	// The portfolio includes the optimal planners; on this 5-task
+	// topology budget 3 covers a complete chain, so OF must be positive
+	// and at least the SA plan's.
+	sa, err := m.Plan(AlgorithmSA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OF < sa.OF {
+		t.Errorf("portfolio OF %v below SA OF %v", res.OF, sa.OF)
+	}
+	if res.OF <= 0 {
+		t.Errorf("portfolio OF = %v, want > 0", res.OF)
+	}
+}

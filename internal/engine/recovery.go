@@ -345,10 +345,3 @@ func (m *master) stats() []RecoveryStat {
 	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

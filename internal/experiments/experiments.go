@@ -2,8 +2,7 @@
 // section (§VI) of Su & Zhou (ICDE 2016). Each driver returns a Result
 // whose series mirror the lines/bars of the corresponding figure; the
 // cmd/ppabench tool prints them and bench_test.go wraps them as Go
-// benchmarks. See DESIGN.md for the experiment index and EXPERIMENTS.md
-// for recorded outputs.
+// benchmarks. See DESIGN.md for the experiment index.
 package experiments
 
 import (

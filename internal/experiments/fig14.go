@@ -11,11 +11,16 @@ import (
 // fig14Fractions is the replication-ratio sweep of Fig. 14.
 var fig14Fractions = []float64{0.1, 0.2, 0.4, 0.6, 0.8}
 
-// meanOF runs the given planner over n random topologies drawn from the
-// spec and returns the mean worst-case OF per fraction. Topologies whose
-// unit decomposition exceeds the segment cap are skipped (counted
-// against n), mirroring the paper's exclusion of intractable cases.
-func meanOF(spec randtopo.Spec, n int, structureAware bool) ([]Point, error) {
+// meanOF runs the named registered planner over n random topologies
+// drawn from the spec and returns the mean worst-case OF per fraction.
+// Topologies a planner cannot handle (e.g. a unit decomposition past
+// the segment cap) are skipped (counted against n), mirroring the
+// paper's exclusion of intractable cases.
+func meanOF(spec randtopo.Spec, n int, planner string) ([]Point, error) {
+	pl, ok := plan.Lookup(planner)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown planner %q (registered: %v)", planner, plan.Names())
+	}
 	sums := make([]float64, len(fig14Fractions))
 	counts := make([]int, len(fig14Fractions))
 	for i := 0; i < n; i++ {
@@ -28,14 +33,9 @@ func meanOF(spec randtopo.Spec, n int, structureAware bool) ([]Point, error) {
 		ctx := plan.NewContext(topo)
 		for fi, frac := range fig14Fractions {
 			budget := int(frac * float64(topo.NumTasks()))
-			var p plan.Plan
-			if structureAware {
-				p, err = plan.StructureAware(ctx, budget, plan.SAOptions{})
-				if err != nil {
-					continue // intractable decomposition: skip
-				}
-			} else {
-				p = plan.Greedy(ctx, budget)
+			p, err := pl.Plan(ctx, budget)
+			if err != nil {
+				continue // intractable for this planner: skip
 			}
 			sums[fi] += ctx.OF(p)
 			counts[fi]++
@@ -65,11 +65,11 @@ func fig14(figure, title string, variants []struct {
 		YLabel: "output fidelity",
 	}
 	for _, alg := range []struct {
-		name string
-		sa   bool
-	}{{"SA", true}, {"Greedy", false}} {
+		name    string
+		planner string
+	}{{"SA", "sa"}, {"Greedy", "greedy"}} {
 		for _, v := range variants {
-			pts, err := meanOF(v.spec, n, alg.sa)
+			pts, err := meanOF(v.spec, n, alg.planner)
 			if err != nil {
 				return Result{}, err
 			}
@@ -156,13 +156,13 @@ func Fig14d(n int) (Result, error) {
 			ctx := plan.NewContext(topo.t)
 			for fi, frac := range fig14Fractions {
 				budget := int(frac * float64(topo.t.NumTasks()))
-				sa, err := plan.StructureAware(ctx, budget, plan.SAOptions{})
+				sa, err := plan.MustLookup("sa").Plan(ctx, budget)
 				if err == nil {
 					a := accs["SA-"+variant]
 					a.sums[fi] += ctx.OF(sa)
 					a.counts[fi]++
 				}
-				g := plan.Greedy(ctx, budget)
+				g, _ := plan.MustLookup("greedy").Plan(ctx, budget)
 				a := accs["Greedy-"+variant]
 				a.sums[fi] += ctx.OF(g)
 				a.counts[fi]++

@@ -13,6 +13,7 @@ package fidelity
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/topology"
 )
@@ -33,6 +34,11 @@ type Model struct {
 	// used by the IC metric.
 	normalIn    []float64
 	totalNormal float64
+
+	// singleOF memoizes the per-task single-failure OF values (the
+	// greedy ranking criterion), computed once on first use.
+	singleOnce sync.Once
+	singleOF   []float64
 }
 
 // NewModel builds an evaluation model for the given topology.
@@ -186,6 +192,23 @@ func (e *Evaluator) OFSingleFailure(id topology.TaskID) float64 {
 	failed := make([]bool, e.m.topo.NumTasks())
 	failed[id] = true
 	return e.OF(failed)
+}
+
+// SingleFailureOFs returns the OF of every single-task failure, indexed
+// by TaskID. The vector is computed once per model and shared: repeated
+// greedy rankings (and greedy runs racing inside a planner portfolio)
+// reuse it instead of re-propagating N failure sets. The returned slice
+// must not be modified.
+func (m *Model) SingleFailureOFs() []float64 {
+	m.singleOnce.Do(func() {
+		e := m.NewEvaluator()
+		out := make([]float64, m.topo.NumTasks())
+		for id := range out {
+			out[id] = e.OFSingleFailure(topology.TaskID(id))
+		}
+		m.singleOF = out
+	})
+	return m.singleOF
 }
 
 // IC computes the Internal Completeness baseline metric: the fraction

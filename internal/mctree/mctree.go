@@ -67,6 +67,20 @@ func (tr Tree) NonReplicated(replicated []bool) int {
 	return n
 }
 
+// MissingTasks returns the tree's tasks absent from the replicated
+// vector, in ascending order — the tree-local delta a planner must add
+// on top of an existing plan to complete the tree. It returns nil when
+// the tree is fully covered.
+func (tr Tree) MissingTasks(replicated []bool) []topology.TaskID {
+	var out []topology.TaskID
+	for _, id := range tr.Tasks {
+		if !replicated[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 func newTree(set map[topology.TaskID]bool) Tree {
 	tasks := make([]topology.TaskID, 0, len(set))
 	for id := range set {

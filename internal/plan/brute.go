@@ -2,20 +2,28 @@ package plan
 
 import (
 	"errors"
+	"math/bits"
 
 	"repro/internal/topology"
 )
 
-// ErrTooLarge is returned by BruteForce when the topology exceeds the
-// feasible exhaustive-search size.
+// ErrTooLarge is returned by the brute-force planner when the topology
+// exceeds the feasible exhaustive-search size.
 var ErrTooLarge = errors.New("plan: topology too large for brute-force search")
 
-// BruteForce exhaustively searches every subset of at most budget tasks
-// and returns a plan with the maximal worst-case OF (ties broken by
-// smaller size, then lexicographically). It exists as the ground-truth
+// Brute exhaustively searches every subset of at most budget tasks and
+// returns a plan with the maximal worst-case OF (ties broken by smaller
+// size, then by first occurrence in ascending-bitmask order, matching
+// the DP planner's keep-first convention). It exists as the ground-truth
 // reference for testing the optimality of the dynamic programming
 // algorithm and is limited to topologies with at most 24 tasks.
-func BruteForce(c *Context, budget int) (Plan, error) {
+type Brute struct{}
+
+// Name implements Planner.
+func (Brute) Name() string { return "brute" }
+
+// Plan implements Planner.
+func (Brute) Plan(c *Context, budget int) (Plan, error) {
 	n := c.Topo.NumTasks()
 	if n > 24 {
 		return Plan{}, ErrTooLarge
@@ -24,9 +32,11 @@ func BruteForce(c *Context, budget int) (Plan, error) {
 		budget = n
 	}
 	best := New(n)
-	bestOF := c.OF(best)
+	// Evaluate directly: the 2^N distinct plans of the exhaustive sweep
+	// are each seen once, so memoizing them would only burn memory.
+	bestOF := c.evalGlobal(MetricOF, best)
 	for mask := uint32(0); mask < 1<<n; mask++ {
-		if popcount(mask) > budget {
+		if bits.OnesCount32(mask) > budget {
 			continue
 		}
 		p := New(n)
@@ -35,20 +45,11 @@ func BruteForce(c *Context, budget int) (Plan, error) {
 				p.Add(topology.TaskID(i))
 			}
 		}
-		of := c.OF(p)
+		of := c.evalGlobal(MetricOF, p)
 		if of > bestOF || (of == bestOF && p.Size() < best.Size()) {
 			best = p
 			bestOF = of
 		}
 	}
 	return best, nil
-}
-
-func popcount(x uint32) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

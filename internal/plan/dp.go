@@ -20,6 +20,10 @@ type DPOptions struct {
 	MaxTrees int
 	// MaxStates caps the candidate-plan set size (default 1 << 18).
 	MaxStates int
+	// Workers sets the candidate-expansion parallelism: 0 uses
+	// GOMAXPROCS, 1 runs sequentially. Results are bit-identical
+	// regardless of the worker count.
+	Workers int
 }
 
 func (o *DPOptions) defaults() {
@@ -31,13 +35,27 @@ func (o *DPOptions) defaults() {
 	}
 }
 
-// DynamicProgramming implements Algorithm 1 (PLANCORRELATEDFAILURE): an
-// optimal bottom-up search over unions of MC-trees. Resource usage is
-// increased one task at a time; every candidate plan is expanded by the
-// MC-trees whose number of non-replicated tasks exactly matches the
-// available slack, and exhausted candidates are pruned. The best plan by
+// DP implements Algorithm 1 (PLANCORRELATEDFAILURE): an optimal
+// bottom-up search over unions of MC-trees. Resource usage is increased
+// one task at a time; every candidate plan is expanded by the MC-trees
+// whose number of non-replicated tasks exactly matches the available
+// slack, and exhausted candidates are pruned. The best plan by
 // worst-case OF (ties broken by smaller resource usage) is returned.
-func DynamicProgramming(c *Context, budget int, opts DPOptions) (Plan, error) {
+//
+// Candidate expansion at each usage level fans out across a worker
+// pool; the per-state expansions are merged in state order, so the
+// search (including dedup and tie-breaking) is bit-identical to a
+// sequential run.
+type DP struct {
+	Opts DPOptions
+}
+
+// Name implements Planner.
+func (DP) Name() string { return "dp" }
+
+// Plan implements Planner.
+func (d DP) Plan(c *Context, budget int) (Plan, error) {
+	opts := d.Opts
 	opts.defaults()
 	n := c.Topo.NumTasks()
 	if budget > n {
@@ -48,62 +66,83 @@ func DynamicProgramming(c *Context, budget int, opts DPOptions) (Plan, error) {
 		return Plan{}, fmt.Errorf("plan: enumerating MC-trees: %w", err)
 	}
 
-	type state struct{ p Plan }
 	empty := New(n)
-	sc := []state{{p: empty}}
+	states := []Plan{empty}
 	seen := map[string]bool{empty.Key(): true}
 
 	best := empty.Clone()
 	bestOF := c.OF(best)
 
-	consider := func(p Plan) {
-		of := c.OF(p)
-		if of > bestOF || (of == bestOF && p.Size() < best.Size()) {
-			best = p.Clone()
-			bestOF = of
-		}
+	// expansion is one state's fate at a usage level: whether the state
+	// survives into the next level, plus its new candidate plans in
+	// tree order. Candidates carry their OF (computed in the worker) so
+	// the sequential merge only deduplicates and selects.
+	type candidate struct {
+		p   Plan
+		key string
+		of  float64
+	}
+	type expansion struct {
+		keep  bool
+		cands []candidate
 	}
 
 	for usage := 1; usage <= budget; usage++ {
-		var next []state
-		for _, st := range sc {
-			dif := usage - st.p.Size()
+		exps := parallelMap(len(states), opts.Workers, func(i int) expansion {
+			st := states[i]
+			dif := usage - st.Size()
 			if dif < 0 {
-				continue
+				return expansion{}
 			}
-			// The largest number of non-replicated tasks among trees not
-			// yet fully included in the plan.
+			// Count each tree's non-replicated tasks once; the counts
+			// serve both the pruning bound and the expansion filter.
+			counts := make([]int, len(trees))
 			maxNonrep := 0
-			for _, tr := range trees {
-				if nr := tr.NonReplicated(st.p.Vector()); nr > 0 && nr > maxNonrep {
+			for ti, tr := range trees {
+				nr := tr.NonReplicated(st.Vector())
+				counts[ti] = nr
+				if nr > maxNonrep {
 					maxNonrep = nr
 				}
 			}
 			if dif > maxNonrep {
 				// All possible expansions of this candidate have been
 				// considered; prune it (it stays a contender via best).
+				return expansion{}
+			}
+			ex := expansion{keep: true}
+			for ti, tr := range trees {
+				if counts[ti] != dif {
+					continue
+				}
+				np := st.Clone()
+				np.AddAll(tr.MissingTasks(st.Vector()))
+				ex.cands = append(ex.cands, candidate{p: np, key: np.Key(), of: c.OF(np)})
+			}
+			return ex
+		})
+		var next []Plan
+		for i, ex := range exps {
+			if !ex.keep {
 				continue
 			}
-			next = append(next, st)
-			for _, tr := range trees {
-				if tr.NonReplicated(st.p.Vector()) != dif {
+			next = append(next, states[i])
+			for _, cd := range ex.cands {
+				if seen[cd.key] {
 					continue
 				}
-				np := st.p.Clone()
-				np.AddAll(tr.Tasks)
-				key := np.Key()
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
+				seen[cd.key] = true
 				if len(seen) > opts.MaxStates {
 					return Plan{}, ErrSearchSpace
 				}
-				consider(np)
-				next = append(next, state{p: np})
+				if cd.of > bestOF || (cd.of == bestOF && cd.p.Size() < best.Size()) {
+					best = cd.p
+					bestOF = cd.of
+				}
+				next = append(next, cd.p)
 			}
 		}
-		sc = next
+		states = next
 	}
 	return best, nil
 }

@@ -1,66 +1,82 @@
 package plan
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/topology"
 )
 
-// fullRank orders the tasks of each scope operator by delta_ij, the
+// fullState caches the per-operator task ranking of one full
+// (sub-)topology. The ranking (delta_ij of §IV-C2) depends only on the
+// scope and metric — not on the plan being grown — so it is computed
+// once and reused by every expansion step.
+type fullState struct {
+	scope  *Scope
+	metric Metric
+
+	once   sync.Once
+	ranked map[int][]topology.TaskID
+}
+
+func newFullState(c *Context, ops []int, m Metric) *fullState {
+	return &fullState{scope: c.ScopeOf(ops), metric: m}
+}
+
+// rank orders the tasks of each scope operator by delta_ij, the
 // scoped-OF increase obtained by replicating the task under the
 // assumption that all other tasks of the same operator are failed and
 // the tasks of the other operators are alive (§IV-C2).
-func fullRank(c *Context, ops []int) map[int][]topology.TaskID {
-	t := c.Topo
-	inScope := make(map[int]bool, len(ops))
-	for _, op := range ops {
-		inScope[op] = true
-	}
-	ranked := make(map[int][]topology.TaskID, len(ops))
-	for _, op := range ops {
-		// pseudo-plan: every in-scope task of the other operators is
-		// alive ("replicated"), operator op contributes only the probe.
-		base := New(t.NumTasks())
-		for _, other := range ops {
-			if other == op {
-				continue
+func (f *fullState) rank(c *Context) map[int][]topology.TaskID {
+	f.once.Do(func() {
+		t := c.Topo
+		ops := f.scope.Ops()
+		f.ranked = make(map[int][]topology.TaskID, len(ops))
+		for _, op := range ops {
+			// pseudo-plan: every in-scope task of the other operators is
+			// alive ("replicated"), operator op contributes only the probe.
+			base := New(t.NumTasks())
+			for _, other := range ops {
+				if other == op {
+					continue
+				}
+				base.AddAll(t.TasksOf(other))
 			}
-			base.AddAll(t.TasksOf(other))
-		}
-		type scored struct {
-			id topology.TaskID
-			d  float64
-		}
-		var ss []scored
-		for _, id := range t.TasksOf(op) {
-			probe := base.Clone()
-			probe.Add(id)
-			ss = append(ss, scored{id: id, d: c.ScopedObjective(ops, probe)})
-		}
-		sort.SliceStable(ss, func(i, j int) bool {
-			if ss[i].d != ss[j].d {
-				return ss[i].d > ss[j].d
+			type scored struct {
+				id topology.TaskID
+				d  float64
 			}
-			return ss[i].id < ss[j].id
-		})
-		ids := make([]topology.TaskID, len(ss))
-		for i, s := range ss {
-			ids[i] = s.id
+			var ss []scored
+			for _, id := range t.TasksOf(op) {
+				ss = append(ss, scored{id: id, d: f.scope.Extend(f.metric, base, []topology.TaskID{id})})
+			}
+			sort.SliceStable(ss, func(i, j int) bool {
+				if ss[i].d != ss[j].d {
+					return ss[i].d > ss[j].d
+				}
+				return ss[i].id < ss[j].id
+			})
+			ids := make([]topology.TaskID, len(ss))
+			for i, s := range ss {
+				ids[i] = s.id
+			}
+			f.ranked[op] = ids
 		}
-		ranked[op] = ids
-	}
-	return ranked
+	})
+	return f.ranked
 }
 
-// fullStep proposes the next expansion of the current plan within a full
+// step proposes the next expansion of the current plan within the full
 // (sub-)topology per Algorithm 4. When the plan covers no complete
 // MC-tree of the scope yet, the proposal is one best task per operator
 // (in a full topology any one task per operator forms an MC-tree);
 // afterwards it is the single next-best task across operators. It
 // returns nil when every scope task is already replicated.
-func fullStep(c *Context, ops []int, cur Plan) []topology.TaskID {
+func (f *fullState) step(c *Context, cur Plan) []topology.TaskID {
 	t := c.Topo
-	ranked := fullRank(c, ops)
+	ops := f.scope.Ops()
+	ranked := f.rank(c)
 
 	// Does the current plan include at least one task of every operator?
 	complete := true
@@ -105,7 +121,9 @@ func fullStep(c *Context, ops []int, cur Plan) []topology.TaskID {
 	}
 
 	// Single-task expansion: per operator, the next best task; choose
-	// the candidate plan with maximal scoped OF.
+	// the candidate plan with maximal scoped OF. The candidates extend
+	// cur by one task, so each evaluation is an incremental update of
+	// cur's cached propagation vector.
 	bestOF := -1.0
 	var bestID topology.TaskID = -1
 	for _, op := range ops {
@@ -113,9 +131,7 @@ func fullStep(c *Context, ops []int, cur Plan) []topology.TaskID {
 			if cur.Has(id) {
 				continue
 			}
-			cand := cur.Clone()
-			cand.Add(id)
-			of := c.ScopedObjective(ops, cand)
+			of := f.scope.Extend(f.metric, cur, []topology.TaskID{id})
 			if of > bestOF || (of == bestOF && id < bestID) {
 				bestOF = of
 				bestID = id
@@ -129,24 +145,59 @@ func fullStep(c *Context, ops []int, cur Plan) []topology.TaskID {
 	return []topology.TaskID{bestID}
 }
 
-// FullTopology implements Algorithm 4 (PLANFULLTOPOLOGY): plan active
+// Full implements Algorithm 4 (PLANFULLTOPOLOGY): plan active
 // replication within a full (sub-)topology given an initial plan and a
 // budget of replicated tasks within the scope. If the budget cannot
 // cover one task per operator and the initial plan is empty, the empty
 // plan is returned (no complete MC-tree is affordable).
-func FullTopology(c *Context, ops []int, initial Plan, budget int) Plan {
-	p := initial.Clone()
+type Full struct {
+	// Ops is the operator scope; nil plans over the whole topology.
+	Ops []int
+	// Initial is the starting plan; nil starts empty.
+	Initial *Plan
+	// Metric selects the optimisation objective (default MetricOF).
+	Metric Metric
+}
+
+// Name implements Planner.
+func (Full) Name() string { return "full" }
+
+// Plan implements Planner. It fails when the scope is not a full
+// (sub-)topology — Algorithm 4's "one task per operator forms an
+// MC-tree" seeding is unsound anywhere else and would silently spend
+// the budget on a plan with zero worst-case OF.
+func (f Full) Plan(c *Context, budget int) (Plan, error) {
+	ops := f.Ops
+	if ops == nil {
+		ops = allOps(c.Topo)
+	}
+	inScope := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		inScope[op] = true
+	}
+	for _, e := range c.Topo.Edges {
+		if inScope[e.From] && inScope[e.To] && e.Part != topology.Full {
+			return Plan{}, fmt.Errorf("plan: full planner requires Full partitioning throughout the scope (edge %d->%d is %v)", e.From, e.To, e.Part)
+		}
+	}
+	var p Plan
+	if f.Initial != nil {
+		p = f.Initial.Clone()
+	} else {
+		p = New(c.Topo.NumTasks())
+	}
+	st := newFullState(c, ops, f.Metric)
 	for {
 		used := scopeUsage(c.Topo, ops, p)
 		if used >= budget {
-			return p
+			return p, nil
 		}
-		ids := fullStep(c, ops, p)
+		ids := st.step(c, p)
 		if len(ids) == 0 {
-			return p
+			return p, nil
 		}
 		if used+len(ids) > budget {
-			return p
+			return p, nil
 		}
 		p.AddAll(ids)
 	}
@@ -163,13 +214,4 @@ func scopeUsage(t *topology.Topology, ops []int, p Plan) int {
 		}
 	}
 	return n
-}
-
-// allOps returns [0, NumOps) for planning over a whole topology.
-func allOps(t *topology.Topology) []int {
-	ops := make([]int, t.NumOps())
-	for i := range ops {
-		ops[i] = i
-	}
-	return ops
 }

@@ -9,10 +9,17 @@ import (
 // Greedy implements Algorithm 2: rank every task by the Output Fidelity
 // of the topology when only that task fails (ascending — a task whose
 // individual failure hurts the most ranks first) and replicate the
-// top-budget tasks. The algorithm is fast (O(N·M) fidelity evaluations)
-// but agnostic to MC-tree completeness, which the paper shows ruins its
-// plans at small replication ratios (§VI-B, §VI-C).
-func Greedy(c *Context, budget int) Plan {
+// top-budget tasks. The algorithm is fast (O(N·M) fidelity evaluations,
+// computed once per model and memoized) but agnostic to MC-tree
+// completeness, which the paper shows ruins its plans at small
+// replication ratios (§VI-B, §VI-C).
+type Greedy struct{}
+
+// Name implements Planner.
+func (Greedy) Name() string { return "greedy" }
+
+// Plan implements Planner. It never fails; the error is always nil.
+func (Greedy) Plan(c *Context, budget int) (Plan, error) {
 	n := c.Topo.NumTasks()
 	if budget > n {
 		budget = n
@@ -35,5 +42,5 @@ func Greedy(c *Context, budget int) Plan {
 	for i := 0; i < budget; i++ {
 		p.Add(rs[i].id)
 	}
-	return p
+	return p, nil
 }

@@ -75,11 +75,11 @@ func TestStructureAwareICMetric(t *testing.T) {
 	topo := joinTopo(t)
 	c := NewContext(topo)
 	budget := 5
-	ofPlan, err := StructureAware(c, budget, SAOptions{})
+	ofPlan, err := SA{}.Plan(c, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
-	icPlan, err := StructureAware(c, budget, SAOptions{Metric: MetricIC})
+	icPlan, err := SA{Opts: SAOptions{Metric: MetricIC}}.Plan(c, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestSAFeasibleBelowOpsCount(t *testing.T) {
 	}
 	c := NewContext(topo)
 	// 4 operators but the min tree is 3 tasks (one source, one m, snk).
-	p, err := StructureAware(c, 3, SAOptions{})
+	p, err := SA{}.Plan(c, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

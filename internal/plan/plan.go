@@ -3,19 +3,21 @@
 // over MC-trees (Alg. 1), the task-level greedy algorithm (Alg. 2), the
 // structured-topology planner (Alg. 3), the full-topology planner
 // (Alg. 4) and the structure-aware general planner (Alg. 5), plus a
-// brute-force reference optimiser used to validate optimality in tests.
+// brute-force reference optimiser used to validate optimality in tests
+// and a Portfolio meta-planner that races every registered planner.
 //
 // All planners solve the same problem (Definition 2): given a topology
 // and a resource budget of R actively replicated tasks, choose the R
 // tasks that maximise the Output Fidelity of the partial topology that
 // survives a worst-case correlated failure (every non-replicated task
-// failed).
+// failed). They are exposed uniformly through the Planner interface and
+// the package registry (Register/Lookup/Names), and share one Context —
+// a concurrency-safe, memoizing objective evaluator.
 package plan
 
 import (
 	"sort"
 
-	"repro/internal/fidelity"
 	"repro/internal/topology"
 )
 
@@ -77,7 +79,8 @@ func (p Plan) Tasks() []topology.TaskID {
 func (p Plan) Vector() []bool { return p.replicated }
 
 // Key returns a canonical identity of the plan's task set, used to
-// deduplicate candidate plans in the dynamic programming algorithm.
+// deduplicate candidate plans in the dynamic programming algorithm and
+// as the memoization key of the Context's objective caches.
 func (p Plan) Key() string {
 	// compact bitmap representation
 	b := make([]byte, (len(p.replicated)+7)/8)
@@ -101,239 +104,6 @@ const (
 	// rate completeness that ignores input-stream correlation).
 	MetricIC
 )
-
-// Context bundles the topology and the fidelity evaluator shared by the
-// planners. Metric selects the objective the structure-aware machinery
-// optimises (default MetricOF). Not safe for concurrent use.
-type Context struct {
-	Topo   *topology.Topology
-	Metric Metric
-	eval   *fidelity.Evaluator
-	// scratch
-	failed []bool
-}
-
-// NewContext builds a planning context for the topology.
-func NewContext(t *topology.Topology) *Context {
-	return &Context{
-		Topo:   t,
-		eval:   fidelity.NewModel(t).NewEvaluator(),
-		failed: make([]bool, t.NumTasks()),
-	}
-}
-
-// Objective evaluates the configured metric of a plan under the
-// worst-case correlated failure.
-func (c *Context) Objective(p Plan) float64 {
-	if c.Metric == MetricIC {
-		return c.IC(p)
-	}
-	return c.OF(p)
-}
-
-// ScopedObjective evaluates the configured metric restricted to a
-// sub-topology scope.
-func (c *Context) ScopedObjective(ops []int, p Plan) float64 {
-	if c.Metric == MetricIC {
-		return c.ScopedIC(ops, p)
-	}
-	return c.ScopedOF(ops, p)
-}
-
-// OF evaluates the worst-case Output Fidelity of a plan: every
-// non-replicated task is failed.
-func (c *Context) OF(p Plan) float64 {
-	return c.eval.OFPlan(p.replicated)
-}
-
-// IC evaluates the worst-case Internal Completeness of a plan.
-func (c *Context) IC(p Plan) float64 {
-	return c.eval.ICPlan(p.replicated)
-}
-
-// OFSingleFailure evaluates OF when only the given task fails (greedy
-// ranking criterion).
-func (c *Context) OFSingleFailure(id topology.TaskID) float64 {
-	return c.eval.OFSingleFailure(id)
-}
-
-// ScopedOF evaluates the worst-case OF of a plan restricted to a
-// sub-topology: within the scope operators, non-replicated tasks are
-// failed; tasks outside the scope are alive. Fidelity is measured at the
-// scope's own sink tasks (operators without a downstream operator inside
-// the scope), treating the scope as a standalone topology. This is the
-// evaluation the sub-topology planners use so that segment selection in
-// different sub-topologies stays independent (§IV-C3).
-func (c *Context) ScopedOF(ops []int, p Plan) float64 {
-	inScope := make(map[int]bool, len(ops))
-	for _, op := range ops {
-		inScope[op] = true
-	}
-	t := c.Topo
-	il := make(map[topology.TaskID]float64)
-	var visit func(id topology.TaskID) float64
-	visit = func(id topology.TaskID) float64 {
-		if v, ok := il[id]; ok {
-			return v
-		}
-		v := c.scopedLoss(id, inScope, p, visit)
-		il[id] = v
-		return v
-	}
-	var lost, total float64
-	for _, op := range ops {
-		if hasDownstreamIn(t, op, inScope) {
-			continue
-		}
-		for _, id := range t.TasksOf(op) {
-			r := t.OutRate(id)
-			total += r
-			lost += r * visit(id)
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	of := 1 - lost/total
-	if of < 0 {
-		return 0
-	}
-	if of > 1 {
-		return 1
-	}
-	return of
-}
-
-func (c *Context) scopedLoss(id topology.TaskID, inScope map[int]bool, p Plan, visit func(topology.TaskID) float64) float64 {
-	t := c.Topo
-	op := t.Tasks[id].Op
-	if !inScope[op] {
-		return 0 // outside the scope: alive, lossless
-	}
-	if !p.Has(id) {
-		return 1 // in scope and not replicated: failed under worst case
-	}
-	var ins []topology.InputStream
-	for _, in := range t.InputsOf(id) {
-		if inScope[in.FromOp] {
-			ins = append(ins, in)
-		}
-	}
-	if len(ins) == 0 {
-		return 0 // scope-local source
-	}
-	inputLoss := func(in topology.InputStream) float64 {
-		var num, den float64
-		for _, sub := range in.Subs {
-			num += sub.Rate * visit(sub.From)
-			den += sub.Rate
-		}
-		if den == 0 {
-			return 1
-		}
-		return num / den
-	}
-	if t.Ops[op].Kind == topology.Correlated {
-		prod := 1.0
-		for _, in := range ins {
-			prod *= 1 - inputLoss(in)
-		}
-		return 1 - prod
-	}
-	var num, den float64
-	for _, in := range ins {
-		r := in.Rate()
-		num += r * inputLoss(in)
-		den += r
-	}
-	if den == 0 {
-		return 1
-	}
-	return num / den
-}
-
-// ScopedIC evaluates the worst-case Internal Completeness restricted to
-// a sub-topology scope: the fraction of tuples still processed by the
-// scope's tasks relative to failure-free operation, with out-of-scope
-// tasks alive. Like IC, it propagates plain rates and credits partial
-// processing even when a join's other input is lost.
-func (c *Context) ScopedIC(ops []int, p Plan) float64 {
-	inScope := make(map[int]bool, len(ops))
-	for _, op := range ops {
-		inScope[op] = true
-	}
-	t := c.Topo
-	frac := make(map[topology.TaskID]float64) // output fraction vs failure-free
-	var visit func(id topology.TaskID) float64
-	var processed, normal float64
-	visit = func(id topology.TaskID) float64 {
-		if v, ok := frac[id]; ok {
-			return v
-		}
-		op := t.Tasks[id].Op
-		if !inScope[op] {
-			frac[id] = 1
-			return 1
-		}
-		if !p.Has(id) {
-			frac[id] = 0
-			return 0
-		}
-		ins := t.InputsOf(id)
-		if len(ins) == 0 {
-			frac[id] = 1
-			return 1
-		}
-		var recv, full float64
-		for _, in := range ins {
-			for _, sub := range in.Subs {
-				full += sub.Rate
-				recv += sub.Rate * visit(sub.From)
-			}
-		}
-		v := 0.0
-		if full > 0 {
-			v = recv / full
-		}
-		frac[id] = v
-		return v
-	}
-	for _, op := range ops {
-		for _, id := range t.TasksOf(op) {
-			var full float64
-			ins := t.InputsOf(id)
-			if len(ins) == 0 {
-				full = t.OutRate(id)
-			} else {
-				for _, in := range ins {
-					full += in.Rate()
-				}
-			}
-			normal += full
-			processed += full * visit(id)
-		}
-	}
-	if normal == 0 {
-		return 0
-	}
-	v := processed / normal
-	if v < 0 {
-		return 0
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
-}
-
-func hasDownstreamIn(t *topology.Topology, op int, inScope map[int]bool) bool {
-	for _, d := range t.DownstreamOps(op) {
-		if inScope[d] {
-			return true
-		}
-	}
-	return false
-}
 
 // sortTaskIDs sorts task IDs ascending, used for deterministic output.
 func sortTaskIDs(ids []topology.TaskID) {

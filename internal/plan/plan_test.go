@@ -57,16 +57,16 @@ func TestGreedyBudgetAndDeterminism(t *testing.T) {
 	topo := chainTopo(2, 2, 2)
 	c := NewContext(topo)
 	for budget := 0; budget <= 6; budget++ {
-		p := Greedy(c, budget)
+		p, _ := Greedy{}.Plan(c, budget)
 		if p.Size() != budget {
 			t.Errorf("Greedy(%d) size = %d", budget, p.Size())
 		}
-		p2 := Greedy(c, budget)
+		p2, _ := Greedy{}.Plan(c, budget)
 		if p.Key() != p2.Key() {
 			t.Errorf("Greedy(%d) not deterministic", budget)
 		}
 	}
-	if p := Greedy(c, 100); p.Size() != 6 {
+	if p, _ := (Greedy{}).Plan(c, 100); p.Size() != 6 {
 		t.Errorf("Greedy(overbudget) size = %d, want 6", p.Size())
 	}
 }
@@ -80,8 +80,8 @@ func TestGreedyTreeBlindness(t *testing.T) {
 	topo := chainTopo(2, 2, 2)
 	c := NewContext(topo)
 	budget := 3 // exactly one task per operator is affordable
-	g := Greedy(c, budget)
-	sa, err := StructureAware(c, budget, SAOptions{})
+	g, _ := Greedy{}.Plan(c, budget)
+	sa, err := SA{}.Plan(c, budget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +99,11 @@ func TestDPOptimalOnChain(t *testing.T) {
 	topo := chainTopo(2, 2, 2)
 	c := NewContext(topo)
 	for budget := 0; budget <= 6; budget++ {
-		dp, err := DynamicProgramming(c, budget, DPOptions{})
+		dp, err := DP{}.Plan(c, budget)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bf, err := BruteForce(c, budget)
+		bf, err := Brute{}.Plan(c, budget)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,11 +165,11 @@ func TestDPMatchesBruteForce(t *testing.T) {
 		topo := randomSmallTopo(rng)
 		c := NewContext(topo)
 		budget := rng.Intn(topo.NumTasks() + 1)
-		dp, err := DynamicProgramming(c, budget, DPOptions{})
+		dp, err := DP{}.Plan(c, budget)
 		if err != nil {
 			return false
 		}
-		bf, err := BruteForce(c, budget)
+		bf, err := Brute{}.Plan(c, budget)
 		if err != nil {
 			return false
 		}
@@ -178,7 +178,7 @@ func TestDPMatchesBruteForce(t *testing.T) {
 			t.Logf("seed %d: DP OF %v != brute %v (budget %d)", seed, dpOF, bfOF, budget)
 			return false
 		}
-		sa, err := StructureAware(c, budget, SAOptions{})
+		sa, err := SA{}.Plan(c, budget)
 		if err != nil {
 			return false
 		}
@@ -186,7 +186,7 @@ func TestDPMatchesBruteForce(t *testing.T) {
 			t.Logf("seed %d: SA OF %v beats optimal %v", seed, c.OF(sa), dpOF)
 			return false
 		}
-		g := Greedy(c, budget)
+		g, _ := Greedy{}.Plan(c, budget)
 		if c.OF(g) > dpOF+1e-12 {
 			t.Logf("seed %d: greedy OF %v beats optimal %v", seed, c.OF(g), dpOF)
 			return false
@@ -204,13 +204,13 @@ func TestFullTopologyPlanner(t *testing.T) {
 	ops := allOps(topo)
 
 	// Budget below one task per operator: no complete MC-tree, empty.
-	p := FullTopology(c, ops, New(topo.NumTasks()), 2)
+	p, _ := Full{Ops: ops}.Plan(c, 2)
 	if p.Size() != 0 {
 		t.Errorf("FullTopology(budget 2) size = %d, want 0", p.Size())
 	}
 
 	// Budget of exactly the operator count: one task per operator.
-	p = FullTopology(c, ops, New(topo.NumTasks()), 3)
+	p, _ = Full{Ops: ops}.Plan(c, 3)
 	if p.Size() != 3 {
 		t.Fatalf("FullTopology(budget 3) size = %d, want 3", p.Size())
 	}
@@ -219,7 +219,7 @@ func TestFullTopologyPlanner(t *testing.T) {
 	}
 
 	// Full budget: everything replicated, perfect fidelity.
-	p = FullTopology(c, ops, New(topo.NumTasks()), 9)
+	p, _ = Full{Ops: ops}.Plan(c, 9)
 	if p.Size() != 9 {
 		t.Errorf("FullTopology(budget 9) size = %d, want 9", p.Size())
 	}
@@ -240,7 +240,7 @@ func TestFullTopologyPrefersHeavyTasks(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewContext(topo)
-	p := FullTopology(c, allOps(topo), New(topo.NumTasks()), 2)
+	p, _ := Full{}.Plan(c, 2)
 	// must pick the heavy task of each operator
 	if !p.Has(topo.TasksOf(0)[0]) || !p.Has(topo.TasksOf(1)[0]) {
 		t.Errorf("plan %v should pick the heavy tasks", p.Tasks())
@@ -260,7 +260,7 @@ func TestStructuredTopologyPlanner(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewContext(topo)
-	p, err := StructuredTopology(c, allOps(topo), New(topo.NumTasks()), 3, 4096)
+	p, err := Structured{}.Plan(c, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestStructuredTopologyPlanner(t *testing.T) {
 		t.Errorf("OF = %v, want > 0 for a complete chain", of)
 	}
 	// With the full budget the plan must reach fidelity 1.
-	p, err = StructuredTopology(c, allOps(topo), New(topo.NumTasks()), 7, 4096)
+	p, err = Structured{}.Plan(c, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestStructuredTopologyPlanner(t *testing.T) {
 func TestStructureAwareSmallBudget(t *testing.T) {
 	topo := chainTopo(2, 2, 2)
 	c := NewContext(topo)
-	p, err := StructureAware(c, 2, SAOptions{}) // < NumOps
+	p, err := SA{}.Plan(c, 2) // < NumOps
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestSAMonotoneInBudget(t *testing.T) {
 		c := NewContext(topo)
 		prev := -1.0
 		for budget := 0; budget <= topo.NumTasks(); budget++ {
-			p, err := StructureAware(c, budget, SAOptions{})
+			p, err := SA{}.Plan(c, budget)
 			if err != nil {
 				return false
 			}
@@ -357,7 +357,7 @@ func TestStructureAwareGeneralTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewContext(topo)
-	p, err := StructureAware(c, 4, SAOptions{})
+	p, err := SA{}.Plan(c, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestStructureAwareGeneralTopology(t *testing.T) {
 		t.Errorf("SA OF = %v, want > 0 with budget 4 on 4 operators", of)
 	}
 	// Full budget reaches fidelity 1.
-	p, err = StructureAware(c, topo.NumTasks(), SAOptions{})
+	p, err = SA{}.Plan(c, topo.NumTasks())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func TestStructureAwareGeneralTopology(t *testing.T) {
 func TestBruteForceTooLarge(t *testing.T) {
 	topo := chainTopo(9, 9, 9)
 	c := NewContext(topo)
-	if _, err := BruteForce(c, 3); err == nil {
+	if _, err := (Brute{}).Plan(c, 3); err == nil {
 		t.Fatal("BruteForce accepted a 27-task topology")
 	}
 }

@@ -1,0 +1,46 @@
+package plan
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelMap computes fn(i) for every i in [0, n) on up to workers
+// goroutines and returns the results in index order. Because each index
+// is computed independently and the caller merges the ordered result
+// slice sequentially, a parallel run is observationally identical to a
+// sequential loop — planners rely on this for bit-identical plans.
+// workers <= 0 selects GOMAXPROCS; workers == 1 runs inline.
+func parallelMap[T any](n, workers int, fn func(int) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]T, n)
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

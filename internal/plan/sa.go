@@ -13,8 +13,13 @@ type SAOptions struct {
 	// MaxSegments caps segment enumeration per unit (default 4096).
 	MaxSegments int
 	// Metric selects the optimisation objective (default MetricOF;
-	// MetricIC reproduces the paper's Fig. 12 IC-optimised plans).
+	// MetricIC reproduces the paper's Fig. 12 IC-optimised plans and
+	// registers as the "sa-ic" planner).
 	Metric Metric
+	// Workers sets the candidate-enumeration parallelism: 0 uses
+	// GOMAXPROCS, 1 runs sequentially. Results are bit-identical
+	// regardless of the worker count.
+	Workers int
 }
 
 func (o *SAOptions) defaults() {
@@ -26,44 +31,57 @@ func (o *SAOptions) defaults() {
 // subPlanner produces incremental expansions within one sub-topology.
 type subPlanner interface {
 	step(c *Context, cur Plan, maxCost int) []topology.TaskID
-	scope() []int
+	scope() *Scope
 }
 
-type fullPlanner struct{ ops []int }
+type fullSub struct{ st *fullState }
 
-func (f *fullPlanner) scope() []int { return f.ops }
-func (f *fullPlanner) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
-	ids := fullStep(c, f.ops, cur)
+func (f *fullSub) scope() *Scope { return f.st.scope }
+func (f *fullSub) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
+	ids := f.st.step(c, cur)
 	if len(ids) == 0 || len(ids) > maxCost {
 		return nil
 	}
 	return ids
 }
 
-type structuredPlanner struct{ st *structuredState }
+type structuredSub struct{ st *structuredState }
 
-func (s *structuredPlanner) scope() []int { return s.st.ops }
-func (s *structuredPlanner) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
+func (s *structuredSub) scope() *Scope { return s.st.scope }
+func (s *structuredSub) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
 	return s.st.step(c, cur, maxCost)
 }
 
-// StructureAware implements Algorithm 5: decompose the general topology
-// into full and structured sub-topologies (§IV-C3), give each
-// sub-topology an initial complete MC-tree, then repeatedly apply the
-// sub-topology expansion with the best profit density until the budget
-// is exhausted. A budget smaller than the smallest MC-tree yields the
-// empty plan: no complete MC-tree is affordable, so no plan can have a
-// positive worst-case OF (the paper's Alg. 5 lines 3-4 use the operator
-// count as this bound, which is exact only when every tree spans all
-// operators).
-func StructureAware(c *Context, budget int, opts SAOptions) (Plan, error) {
+// SA implements Algorithm 5, the structure-aware general planner:
+// decompose the general topology into full and structured
+// sub-topologies (§IV-C3), give each sub-topology an initial complete
+// MC-tree, then repeatedly apply the sub-topology expansion with the
+// best profit density until the budget is exhausted. A budget smaller
+// than the smallest MC-tree yields the empty plan: no complete MC-tree
+// is affordable, so no plan can have a positive worst-case OF (the
+// paper's Alg. 5 lines 3-4 use the operator count as this bound, which
+// is exact only when every tree spans all operators).
+type SA struct {
+	Opts SAOptions
+}
+
+// Name implements Planner: "sa" for the OF objective, "sa-ic" for the
+// IC variant.
+func (s SA) Name() string {
+	if s.Opts.Metric == MetricIC {
+		return "sa-ic"
+	}
+	return "sa"
+}
+
+// Plan implements Planner.
+func (s SA) Plan(c *Context, budget int) (Plan, error) {
+	opts := s.Opts
 	opts.defaults()
-	prevMetric := c.Metric
-	c.Metric = opts.Metric
-	defer func() { c.Metric = prevMetric }()
+	m := opts.Metric
 	t := c.Topo
 	p := New(t.NumTasks())
-	if budget < mctree.MinTreeSize(t) && opts.Metric == MetricOF {
+	if budget < mctree.MinTreeSize(t) && m == MetricOF {
 		return p, nil
 	}
 
@@ -90,14 +108,14 @@ func StructureAware(c *Context, budget int, opts SAOptions) (Plan, error) {
 	planners := make([]subPlanner, 0, len(subs))
 	for _, sub := range subs {
 		if sub.Kind == mctree.FullSub {
-			planners = append(planners, &fullPlanner{ops: sub.Ops})
+			planners = append(planners, &fullSub{st: newFullState(c, sub.Ops, m)})
 			continue
 		}
-		st, err := newStructuredState(c, sub.Ops, opts.MaxSegments)
+		st, err := newStructuredState(c, sub.Ops, m, opts.MaxSegments, opts.Workers)
 		if err != nil {
 			return Plan{}, fmt.Errorf("plan: structure-aware: %w", err)
 		}
-		planners = append(planners, &structuredPlanner{st: st})
+		planners = append(planners, &structuredSub{st: st})
 	}
 
 	usage := 0
@@ -117,7 +135,7 @@ func StructureAware(c *Context, budget int, opts SAOptions) (Plan, error) {
 	// 11-18). Scoped improvement breaks ties so that progress continues
 	// while some sub-topology is still below a complete tree.
 	for usage < budget {
-		baseOF := c.Objective(p)
+		baseOF := c.ObjectiveWith(m, p)
 		bestDensity, bestScoped := -1.0, -1.0
 		var bestIDs []topology.TaskID
 		for _, sp := range planners {
@@ -127,9 +145,9 @@ func StructureAware(c *Context, budget int, opts SAOptions) (Plan, error) {
 			}
 			probe := p.Clone()
 			probe.AddAll(ids)
-			density := (c.Objective(probe) - baseOF) / float64(len(ids))
-			scopedBase := c.ScopedObjective(sp.scope(), p)
-			scoped := (c.ScopedObjective(sp.scope(), probe) - scopedBase) / float64(len(ids))
+			density := (c.ObjectiveWith(m, probe) - baseOF) / float64(len(ids))
+			scopedBase := sp.scope().EvalBase(m, p)
+			scoped := (sp.scope().Extend(m, p, ids) - scopedBase) / float64(len(ids))
 			if density > bestDensity || (density == bestDensity && scoped > bestScoped) {
 				bestDensity = density
 				bestScoped = scoped

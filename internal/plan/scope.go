@@ -1,0 +1,353 @@
+package plan
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Scope is a precomputed evaluation scope: a sub-topology (set of
+// operators) together with everything the scoped objective evaluation
+// needs — the in-scope task order, the scope's sink tasks and their
+// total failure-free output rate, and the in-scope downstream adjacency
+// used for incremental re-evaluation. Scopes are created by
+// Context.ScopeOf and shared; a Scope is safe for concurrent use.
+//
+// For each metric the scope caches the per-task propagation vector of
+// the most recent "base" plan evaluated through Extend, so that probing
+// base ∪ {ids} — the inner loop of every sub-topology planner —
+// recomputes only the tasks downstream of the added ones instead of
+// re-traversing the whole scope.
+type Scope struct {
+	c   *Context
+	sig string
+	ops []int
+
+	opIn   []bool            // by operator
+	taskIn []bool            // by task
+	tasks  []topology.TaskID // in-scope tasks in operator-topological order
+	sinks  []topology.TaskID // tasks of scope sink operators
+	// totalOut is the failure-free output rate of the scope sinks (the
+	// OF normalisation constant).
+	totalOut float64
+	// down[id] lists the in-scope tasks directly downstream of task id.
+	down [][]topology.TaskID
+
+	mu   sync.Mutex
+	base [2]scopedBase // indexed by Metric
+}
+
+// scopedBase is an immutable snapshot of the per-task propagation
+// vector (OF: information loss; IC: throughput fraction) of one plan.
+type scopedBase struct {
+	key string
+	vec []float64
+}
+
+// scopeSig returns the canonical identity of an operator set.
+func scopeSig(ops []int) string {
+	sorted := append([]int(nil), ops...)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for i, op := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(op))
+	}
+	return b.String()
+}
+
+func newScope(c *Context, sig string, ops []int) *Scope {
+	t := c.Topo
+	s := &Scope{
+		c:      c,
+		sig:    sig,
+		ops:    append([]int(nil), ops...),
+		opIn:   make([]bool, t.NumOps()),
+		taskIn: make([]bool, t.NumTasks()),
+		down:   make([][]topology.TaskID, t.NumTasks()),
+	}
+	for _, op := range s.ops {
+		s.opIn[op] = true
+	}
+	for _, op := range t.OpOrder() {
+		if !s.opIn[op] {
+			continue
+		}
+		for _, id := range t.TasksOf(op) {
+			s.taskIn[id] = true
+			s.tasks = append(s.tasks, id)
+		}
+	}
+	for _, op := range s.ops {
+		hasDown := false
+		for _, d := range t.DownstreamOps(op) {
+			if s.opIn[d] {
+				hasDown = true
+				break
+			}
+		}
+		if hasDown {
+			continue
+		}
+		for _, id := range t.TasksOf(op) {
+			s.sinks = append(s.sinks, id)
+			s.totalOut += t.OutRate(id)
+		}
+	}
+	for _, id := range s.tasks {
+		for _, d := range t.DownstreamTasks(id) {
+			if s.taskIn[d] {
+				s.down[id] = append(s.down[id], d)
+			}
+		}
+	}
+	return s
+}
+
+// Ops returns the scope's operator set.
+func (s *Scope) Ops() []int { return s.ops }
+
+// Eval computes the scoped objective of a plan, memoized on the plan
+// key.
+func (s *Scope) Eval(m Metric, p Plan) float64 {
+	key := scopedMemoKey{scope: s.sig, metric: m, plan: p.Key()}
+	if v, ok := s.c.scopedMemoGet(key); ok {
+		return v
+	}
+	vec := make([]float64, s.c.Topo.NumTasks())
+	s.compute(m, p, vec, s.tasks)
+	v := s.objective(m, vec)
+	s.c.scopedMemoPut(key, v)
+	return v
+}
+
+// EvalBase computes the scoped objective of a plan that is about to
+// serve as the base of Extend probes. Unlike Eval it always goes
+// through the base-vector cache, so the traversal that produces the
+// scalar is the same one the subsequent Extend calls reuse.
+func (s *Scope) EvalBase(m Metric, p Plan) float64 {
+	v := s.objective(m, s.baseVector(m, p))
+	s.c.scopedMemoPut(scopedMemoKey{scope: s.sig, metric: m, plan: p.Key()}, v)
+	return v
+}
+
+// Extend computes the scoped objective of base ∪ ids. The base plan's
+// propagation vector is cached per metric; on a cache hit only the
+// tasks downstream of ids are recomputed, so growing a candidate by one
+// task costs a local update instead of a whole-scope traversal. The
+// result is bit-identical to a full evaluation of the extended plan.
+func (s *Scope) Extend(m Metric, base Plan, ids []topology.TaskID) float64 {
+	probe := base.Clone()
+	probe.AddAll(ids)
+	key := scopedMemoKey{scope: s.sig, metric: m, plan: probe.Key()}
+	if v, ok := s.c.scopedMemoGet(key); ok {
+		return v
+	}
+	vec := append([]float64(nil), s.baseVector(m, base)...)
+	// Dirty set: the added tasks and everything downstream of them
+	// within the scope, re-evaluated in scope topological order.
+	n := s.c.Topo.NumTasks()
+	dirty := make([]bool, n)
+	nDirty := 0
+	queue := make([]topology.TaskID, 0, len(ids))
+	for _, id := range ids {
+		if s.taskIn[id] && !dirty[id] {
+			dirty[id] = true
+			nDirty++
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, d := range s.down[id] {
+			if !dirty[d] {
+				dirty[d] = true
+				nDirty++
+				queue = append(queue, d)
+			}
+		}
+	}
+	order := make([]topology.TaskID, 0, nDirty)
+	for _, id := range s.tasks {
+		if dirty[id] {
+			order = append(order, id)
+		}
+	}
+	s.compute(m, probe, vec, order)
+	v := s.objective(m, vec)
+	s.c.scopedMemoPut(key, v)
+	return v
+}
+
+// baseVector returns the cached propagation vector of the base plan,
+// computing and caching it on mismatch. The returned slice is the
+// immutable cached snapshot; callers must copy before mutating.
+func (s *Scope) baseVector(m Metric, base Plan) []float64 {
+	key := base.Key()
+	s.mu.Lock()
+	if b := s.base[m]; b.key == key {
+		s.mu.Unlock()
+		return b.vec
+	}
+	s.mu.Unlock()
+	vec := make([]float64, s.c.Topo.NumTasks())
+	s.compute(m, base, vec, s.tasks)
+	s.mu.Lock()
+	s.base[m] = scopedBase{key: key, vec: vec}
+	s.mu.Unlock()
+	return vec
+}
+
+// compute fills vec for the given in-scope tasks (which must be in
+// scope topological order) under the plan. Entries for tasks outside
+// the listed set are read as-is, so passing a dirty subset on top of a
+// base vector yields an incremental update.
+func (s *Scope) compute(m Metric, p Plan, vec []float64, order []topology.TaskID) {
+	if m == MetricIC {
+		for _, id := range order {
+			vec[id] = s.fracIC(p, id, vec)
+		}
+		return
+	}
+	for _, id := range order {
+		vec[id] = s.lossOF(p, id, vec)
+	}
+}
+
+// objective folds a propagation vector into the scoped metric value.
+func (s *Scope) objective(m Metric, vec []float64) float64 {
+	t := s.c.Topo
+	if m == MetricIC {
+		var processed, normal float64
+		for _, id := range s.tasks {
+			var full float64
+			ins := t.InputsOf(id)
+			if len(ins) == 0 {
+				full = t.OutRate(id)
+			} else {
+				for _, in := range ins {
+					full += in.Rate()
+				}
+			}
+			normal += full
+			processed += full * vec[id]
+		}
+		if normal == 0 {
+			return 0
+		}
+		return clamp01(processed / normal)
+	}
+	if s.totalOut == 0 {
+		return 0
+	}
+	var lost float64
+	for _, id := range s.sinks {
+		lost += t.OutRate(id) * vec[id]
+	}
+	return clamp01(1 - lost/s.totalOut)
+}
+
+// lossOF computes the information loss of one in-scope task from the
+// upstream entries of vec: out-of-scope upstreams are alive (loss 0),
+// in-scope non-replicated tasks are failed under the worst case
+// (Eqs. 1–3 restricted to the scope).
+func (s *Scope) lossOF(p Plan, id topology.TaskID, vec []float64) float64 {
+	t := s.c.Topo
+	if !p.Has(id) {
+		return 1
+	}
+	inputLoss := func(in topology.InputStream) float64 {
+		var num, den float64
+		for _, sub := range in.Subs {
+			den += sub.Rate
+			if s.taskIn[sub.From] {
+				num += sub.Rate * vec[sub.From]
+			}
+		}
+		if den == 0 {
+			return 1
+		}
+		return num / den
+	}
+	correlated := t.Ops[t.Tasks[id].Op].Kind == topology.Correlated
+	prod, num, den := 1.0, 0.0, 0.0
+	seen := false
+	for _, in := range t.InputsOf(id) {
+		if !s.opIn[in.FromOp] {
+			continue
+		}
+		seen = true
+		if correlated {
+			prod *= 1 - inputLoss(in)
+		} else {
+			r := in.Rate()
+			num += r * inputLoss(in)
+			den += r
+		}
+	}
+	if !seen {
+		return 0 // scope-local source
+	}
+	if correlated {
+		return 1 - prod
+	}
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// fracIC computes the throughput fraction of one in-scope task from the
+// upstream entries of vec. Unlike lossOF it considers all input
+// streams: out-of-scope upstreams are alive and contribute their full
+// rate (fraction 1).
+func (s *Scope) fracIC(p Plan, id topology.TaskID, vec []float64) float64 {
+	t := s.c.Topo
+	if !p.Has(id) {
+		return 0
+	}
+	ins := t.InputsOf(id)
+	if len(ins) == 0 {
+		return 1
+	}
+	var recv, full float64
+	for _, in := range ins {
+		for _, sub := range in.Subs {
+			full += sub.Rate
+			f := 1.0
+			if s.taskIn[sub.From] {
+				f = vec[sub.From]
+			}
+			recv += sub.Rate * f
+		}
+	}
+	if full == 0 {
+		return 0
+	}
+	return recv / full
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// allOps returns [0, NumOps) for planning over a whole topology.
+func allOps(t *topology.Topology) []int {
+	ops := make([]int, t.NumOps())
+	for i := range ops {
+		ops[i] = i
+	}
+	return ops
+}

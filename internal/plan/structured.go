@@ -11,17 +11,32 @@ import (
 // structuredState caches the unit decomposition of one structured
 // (sub-)topology so that repeated planning steps do not recompute it.
 type structuredState struct {
-	ops   []int
-	units []mctree.Unit
-	adj   [][]int // unit adjacency
+	scope   *Scope
+	metric  Metric
+	workers int
+	units   []mctree.Unit
+	// unitScopes caches each unit's evaluation scope; segmentValue runs
+	// in the BFS inner loop and must not rebuild scope signatures there.
+	unitScopes []*Scope
+	adj        [][]int // unit adjacency
 }
 
-func newStructuredState(c *Context, ops []int, maxSegments int) (*structuredState, error) {
+func newStructuredState(c *Context, ops []int, m Metric, maxSegments, workers int) (*structuredState, error) {
 	units, err := mctree.SplitUnits(c.Topo, mctree.SubTopology{Ops: ops, Kind: mctree.StructuredSub}, maxSegments)
 	if err != nil {
 		return nil, fmt.Errorf("plan: splitting units: %w", err)
 	}
-	st := &structuredState{ops: ops, units: units, adj: make([][]int, len(units))}
+	st := &structuredState{
+		scope:      c.ScopeOf(ops),
+		metric:     m,
+		workers:    workers,
+		units:      units,
+		unitScopes: make([]*Scope, len(units)),
+		adj:        make([][]int, len(units)),
+	}
+	for ui, u := range units {
+		st.unitScopes[ui] = c.ScopeOf(u.Ops)
+	}
 	// Units are adjacent when an operator edge crosses between them.
 	opUnit := map[int]int{}
 	for ui, u := range units {
@@ -58,7 +73,13 @@ func newStructuredState(c *Context, ops []int, maxSegments int) (*structuredStat
 func (st *structuredState) segmentValue(c *Context, ui int, seg mctree.Tree) float64 {
 	p := New(c.Topo.NumTasks())
 	p.AddAll(seg.Tasks)
-	return c.ScopedObjective(st.units[ui].Ops, p)
+	return st.unitScopes[ui].Eval(st.metric, p)
+}
+
+// candidate is one proposed expansion of the current plan.
+type candidate struct {
+	tasks []topology.TaskID
+	cost  int
 }
 
 // step proposes the next expansion per one iteration of Algorithm 3
@@ -68,16 +89,16 @@ func (st *structuredState) segmentValue(c *Context, ui int, seg mctree.Tree) flo
 // contributing its best segment connected to the candidate, stopping
 // when maxCost would be exceeded. The candidate with the maximal profit
 // density is returned (nil when no affordable candidate exists).
+//
+// The per-segment candidate construction is independent of the other
+// segments, so it fans out across the worker pool; candidates are
+// merged and ranked in segment-enumeration order, making the result
+// bit-identical to a sequential run.
 func (st *structuredState) step(c *Context, cur Plan, maxCost int) []topology.TaskID {
 	if maxCost <= 0 {
 		return nil
 	}
-	baseOF := c.ScopedObjective(st.ops, cur)
-	type candidate struct {
-		tasks []topology.TaskID
-		cost  int
-	}
-	var candidates []candidate
+	baseOF := st.scope.EvalBase(st.metric, cur)
 
 	newTasks := func(segs []mctree.Tree) ([]topology.TaskID, int) {
 		set := map[topology.TaskID]bool{}
@@ -96,67 +117,78 @@ func (st *structuredState) step(c *Context, cur Plan, maxCost int) []topology.Ta
 		return ids, len(ids)
 	}
 
+	// Flatten the (unit, segment) enumeration so that every seed
+	// candidate is built independently on the worker pool.
+	type seed struct {
+		ui  int
+		seg mctree.Tree
+	}
+	var seeds []seed
 	for ui, unit := range st.units {
 		for _, seg := range unit.Segments {
-			if seg.NonReplicated(cur.Vector()) == 0 {
-				continue // segment already fully replicated
-			}
-			cg := []mctree.Tree{seg}
-			ids, cost := newTasks(cg)
-			if cost > maxCost {
-				continue
-			}
-			probe := cur.Clone()
-			probe.AddAll(ids)
-			if c.ScopedObjective(st.ops, probe) <= baseOF {
-				// The segment alone does not help: grow a connected set
-				// of segments across the units by BFS (Alg. 3 lines
-				// 10-15).
-				visited := map[int]bool{ui: true}
-				queue := append([]int(nil), st.adj[ui]...)
-				for len(queue) > 0 {
-					vi := queue[0]
-					queue = queue[1:]
-					if visited[vi] {
-						continue
-					}
-					visited[vi] = true
-					gj, ok := st.bestConnected(c, vi, cg, cur)
-					if !ok {
-						continue
-					}
-					_, curCost := newTasks(cg)
-					extra := gj.NonReplicated(cur.Vector())
-					if curCost+extra > maxCost {
-						break // Alg. 3 line 15: stop the BFS
-					}
-					cg = append(cg, gj)
-					for _, next := range st.adj[vi] {
-						if !visited[next] {
-							queue = append(queue, next)
-						}
-					}
-				}
-				ids, cost = newTasks(cg)
-				if cost > maxCost {
-					continue
-				}
-			}
-			if cost == 0 {
-				continue
-			}
-			candidates = append(candidates, candidate{tasks: ids, cost: cost})
+			seeds = append(seeds, seed{ui: ui, seg: seg})
 		}
 	}
+	built := parallelMap(len(seeds), st.workers, func(i int) *candidate {
+		ui, seg := seeds[i].ui, seeds[i].seg
+		if seg.NonReplicated(cur.Vector()) == 0 {
+			return nil // segment already fully replicated
+		}
+		cg := []mctree.Tree{seg}
+		ids, cost := newTasks(cg)
+		if cost > maxCost {
+			return nil
+		}
+		if st.scope.Extend(st.metric, cur, ids) <= baseOF {
+			// The segment alone does not help: grow a connected set
+			// of segments across the units by BFS (Alg. 3 lines
+			// 10-15).
+			visited := map[int]bool{ui: true}
+			queue := append([]int(nil), st.adj[ui]...)
+			for len(queue) > 0 {
+				vi := queue[0]
+				queue = queue[1:]
+				if visited[vi] {
+					continue
+				}
+				visited[vi] = true
+				gj, ok := st.bestConnected(c, vi, cg, cur)
+				if !ok {
+					continue
+				}
+				_, curCost := newTasks(cg)
+				extra := gj.NonReplicated(cur.Vector())
+				if curCost+extra > maxCost {
+					break // Alg. 3 line 15: stop the BFS
+				}
+				cg = append(cg, gj)
+				for _, next := range st.adj[vi] {
+					if !visited[next] {
+						queue = append(queue, next)
+					}
+				}
+			}
+			ids, cost = newTasks(cg)
+			if cost > maxCost {
+				return nil
+			}
+		}
+		if cost == 0 {
+			return nil
+		}
+		return &candidate{tasks: ids, cost: cost}
+	})
 
 	// Select the candidate with the maximal profit density
-	// (OF(P ∪ CG) - OF(P)) / |CG| (Alg. 3 line 17).
+	// (OF(P ∪ CG) - OF(P)) / |CG| (Alg. 3 line 17), in enumeration
+	// order.
 	bestDensity := -1.0
 	var best []topology.TaskID
-	for _, cand := range candidates {
-		probe := cur.Clone()
-		probe.AddAll(cand.tasks)
-		density := (c.ScopedObjective(st.ops, probe) - baseOF) / float64(cand.cost)
+	for _, cand := range built {
+		if cand == nil {
+			continue
+		}
+		density := (st.scope.Extend(st.metric, cur, cand.tasks) - baseOF) / float64(cand.cost)
 		if density > bestDensity ||
 			(density == bestDensity && (best == nil || lessIDs(cand.tasks, best))) {
 			bestDensity = density
@@ -207,15 +239,46 @@ func lessIDs(a, b []topology.TaskID) bool {
 	return false
 }
 
-// StructuredTopology implements Algorithm 3: plan active replication
-// within a structured (sub-)topology under a budget of replicated tasks
-// within the scope, starting from an initial plan.
-func StructuredTopology(c *Context, ops []int, initial Plan, budget, maxSegments int) (Plan, error) {
-	st, err := newStructuredState(c, ops, maxSegments)
+// Structured implements Algorithm 3: plan active replication within a
+// structured (sub-)topology under a budget of replicated tasks within
+// the scope, starting from an initial plan.
+type Structured struct {
+	// Ops is the operator scope; nil plans over the whole topology.
+	Ops []int
+	// Initial is the starting plan; nil starts empty.
+	Initial *Plan
+	// MaxSegments caps segment enumeration per unit (default 4096).
+	MaxSegments int
+	// Metric selects the optimisation objective (default MetricOF).
+	Metric Metric
+	// Workers sets the segment-enumeration parallelism: 0 uses
+	// GOMAXPROCS, 1 runs sequentially.
+	Workers int
+}
+
+// Name implements Planner.
+func (Structured) Name() string { return "structured" }
+
+// Plan implements Planner.
+func (s Structured) Plan(c *Context, budget int) (Plan, error) {
+	ops := s.Ops
+	if ops == nil {
+		ops = allOps(c.Topo)
+	}
+	maxSegments := s.MaxSegments
+	if maxSegments == 0 {
+		maxSegments = 4096
+	}
+	st, err := newStructuredState(c, ops, s.Metric, maxSegments, s.Workers)
 	if err != nil {
 		return Plan{}, err
 	}
-	p := initial.Clone()
+	var p Plan
+	if s.Initial != nil {
+		p = s.Initial.Clone()
+	} else {
+		p = New(c.Topo.NumTasks())
+	}
 	for {
 		used := scopeUsage(c.Topo, ops, p)
 		if used >= budget {

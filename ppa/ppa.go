@@ -10,7 +10,9 @@
 //   - building query topologies (operators, tasks, partitionings);
 //   - the Output Fidelity / Internal Completeness quality metrics;
 //   - the replication-plan optimisers (dynamic programming, greedy,
-//     structure-aware);
+//     structured, full-topology, structure-aware, brute force and the
+//     portfolio meta-planner), all behind the Planner interface and
+//     selectable by registry name;
 //   - the deterministic discrete-event streaming engine with
 //     checkpointing, active replication, failure injection, recovery
 //     and tentative outputs;
@@ -119,18 +121,47 @@ func MinMCTreeSize(t *Topology) int { return mctree.MinTreeSize(t) }
 // for active replication).
 type Plan = plan.Plan
 
+// NewPlan returns an empty plan for a topology with n tasks — the
+// starting point of custom Planner implementations.
+func NewPlan(n int) Plan { return plan.New(n) }
+
+// Planner is the uniform optimiser interface: every planning algorithm
+// (and any user-supplied one registered with RegisterPlanner) computes
+// a plan from a shared PlanContext and a budget.
+type Planner = plan.Planner
+
+// PlanContext is the memoized, concurrency-safe objective evaluator
+// shared by the planners of one topology.
+type PlanContext = plan.Context
+
+// NewPlanContext builds a planning context for the topology.
+func NewPlanContext(t *Topology) *PlanContext { return plan.NewContext(t) }
+
+// RegisterPlanner adds a planner to the global registry; it then
+// becomes selectable by name in Manager.PlanByName, cmd/ppaplan and the
+// Portfolio meta-planner.
+func RegisterPlanner(p Planner) { plan.Register(p) }
+
+// LookupPlanner returns the registered planner with the given name.
+func LookupPlanner(name string) (Planner, bool) { return plan.Lookup(name) }
+
+// PlannerNames lists the registered planner names ("brute", "dp",
+// "full", "greedy", "portfolio", "sa", "sa-ic", "structured", ...).
+func PlannerNames() []string { return plan.Names() }
+
 // Manager computes PPA replication plans for one topology.
 type Manager = core.Manager
 
 // Algorithm selects the plan optimiser.
 type Algorithm = core.Algorithm
 
-// Planning algorithms (§IV).
+// Planning algorithms (§IV), plus the portfolio meta-planner.
 const (
-	SA     = core.AlgorithmSA
-	DP     = core.AlgorithmDP
-	Greedy = core.AlgorithmGreedy
-	SAIC   = core.AlgorithmSAIC
+	SA        = core.AlgorithmSA
+	DP        = core.AlgorithmDP
+	Greedy    = core.AlgorithmGreedy
+	SAIC      = core.AlgorithmSAIC
+	Portfolio = core.AlgorithmPortfolio
 )
 
 // PlanResult is a computed plan with its predicted quality metrics.
