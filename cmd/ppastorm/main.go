@@ -1,0 +1,220 @@
+// Command ppastorm runs Monte-Carlo failure campaigns: thousands of
+// seeded correlated-failure scenarios (single node, k-of-rack bursts,
+// whole-domain outages, cascading multi-domain failures) simulated in
+// parallel against PPA plans, with recovery-latency and output-loss
+// distributions aggregated per planner × topology × burst model.
+//
+// Usage:
+//
+//	ppastorm -scenarios 1000 -planners sa,greedy
+//	ppastorm -topos small,medium,large -models domain,cascade -format csv
+//	ppastorm -scenarios 200 -correlation 0.8 -format json -o sweep.json
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+// row is one aggregated sweep cell.
+type row struct {
+	Topology    string        `json:"topology"`
+	Planner     string        `json:"planner"`
+	Model       string        `json:"model"`
+	Scenarios   int           `json:"scenarios"`
+	Unrecovered int           `json:"unrecovered"`
+	Latency     campaign.Dist `json:"latency_s"`
+	Loss        campaign.Dist `json:"output_loss"`
+	FailedTasks campaign.Dist `json:"failed_tasks"`
+	Baseline    int           `json:"baseline_sink_tuples"`
+	Wall        float64       `json:"wall_seconds"`
+}
+
+func main() {
+	var (
+		topos       = flag.String("topos", "medium", "comma-separated topology presets: small, medium, large")
+		topoSeed    = flag.Int64("topo-seed", 1, "random-topology generation seed")
+		planners    = flag.String("planners", "sa,greedy", "comma-separated plan-registry planners; \"none\" = checkpoint only")
+		fraction    = flag.Float64("fraction", 0.3, "actively replicated fraction of tasks")
+		models      = flag.String("models", "single,k-of-rack,domain,cascade", "comma-separated burst models")
+		scenarios   = flag.Int("scenarios", 1000, "scenarios per sweep cell")
+		seed        = flag.Int64("seed", 1, "campaign seed (scenario randomness)")
+		correlation = flag.Float64("correlation", 0.5, "correlation strength in [0,1]")
+		failAt      = flag.Float64("fail-at", 30.5, "base failure-injection time (virtual s)")
+		horizon     = flag.Float64("horizon", 150, "simulation horizon per scenario (virtual s)")
+		workers     = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential")
+		format      = flag.String("format", "table", "output format: table, json, csv")
+		out         = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	// Render into a buffer and write the destination file only after
+	// the whole sweep succeeded, so a failing run never truncates the
+	// results of a previous one.
+	var buf bytes.Buffer
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		w = &buf
+	}
+
+	var modelList []campaign.Model
+	for _, s := range splitList(*models) {
+		m, err := campaign.ParseModel(s)
+		if err != nil {
+			fatal(err)
+		}
+		modelList = append(modelList, m)
+	}
+
+	var rows []row
+	for _, topoName := range splitList(*topos) {
+		topo, err := campaign.PresetTopology(topoName, *topoSeed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, planner := range splitList(*planners) {
+			name := planner
+			if planner == "none" {
+				planner = ""
+			}
+			env, err := campaign.NewEnv(campaign.EnvSpec{
+				Topo:     topo,
+				Planner:  planner,
+				Fraction: *fraction,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			sample, err := env.Cluster()
+			if err != nil {
+				fatal(err)
+			}
+			baseline := 0 // shared across models for this planner x topology
+			for _, model := range modelList {
+				scs, err := campaign.Generate(sample, campaign.GenSpec{
+					Seed:        *seed,
+					Scenarios:   *scenarios,
+					Model:       model,
+					FailAt:      sim.Time(*failAt),
+					Correlation: *correlation,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				start := time.Now()
+				rep, err := campaign.Run(campaign.Config{
+					Setup:     env.Setup,
+					Scenarios: scs,
+					Horizon:   sim.Time(*horizon),
+					Workers:   *workers,
+					Baseline:  baseline,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				baseline = rep.BaselineSinkTuples
+				rows = append(rows, row{
+					Topology:    topoName,
+					Planner:     name,
+					Model:       model.String(),
+					Scenarios:   rep.Summary.Scenarios,
+					Unrecovered: rep.Summary.Unrecovered,
+					Latency:     rep.Summary.Latency,
+					Loss:        rep.Summary.Loss,
+					FailedTasks: rep.Summary.FailedTasks,
+					Baseline:    rep.BaselineSinkTuples,
+					Wall:        time.Since(start).Seconds(),
+				})
+			}
+		}
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fatal(err)
+		}
+	case "csv":
+		if err := writeCSV(w, rows); err != nil {
+			fatal(err)
+		}
+	case "table":
+		writeTable(w, rows)
+	default:
+		fatal(fmt.Errorf("unknown format %q (table, json, csv)", *format))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var csvHeader = []string{
+	"topology", "planner", "model", "scenarios", "unrecovered",
+	"latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_p99_s", "latency_max_s",
+	"loss_mean", "loss_p95", "failed_tasks_mean", "failed_tasks_max",
+	"baseline_sink_tuples", "wall_seconds",
+}
+
+func writeCSV(w io.Writer, rows []row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, r := range rows {
+		rec := []string{
+			r.Topology, r.Planner, r.Model,
+			strconv.Itoa(r.Scenarios), strconv.Itoa(r.Unrecovered),
+			f(r.Latency.Mean), f(r.Latency.P50), f(r.Latency.P95), f(r.Latency.P99), f(r.Latency.Max),
+			f(r.Loss.Mean), f(r.Loss.P95), f(r.FailedTasks.Mean), f(r.FailedTasks.Max),
+			strconv.Itoa(r.Baseline), f(r.Wall),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeTable(w io.Writer, rows []row) {
+	fmt.Fprintf(w, "%-8s %-10s %-10s %6s %6s | %8s %8s %8s %8s | %8s %6s\n",
+		"topo", "planner", "model", "scen", "unrec",
+		"mean_s", "p50_s", "p95_s", "p99_s", "loss", "tasks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-10s %-10s %6d %6d | %8.2f %8.2f %8.2f %8.2f | %8.4f %6.1f\n",
+			r.Topology, r.Planner, r.Model, r.Scenarios, r.Unrecovered,
+			r.Latency.Mean, r.Latency.P50, r.Latency.P95, r.Latency.P99,
+			r.Loss.Mean, r.FailedTasks.Mean)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppastorm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// Config describes one campaign: N scenarios run as independent engine
+// simulations against fresh instances of the same environment.
+type Config struct {
+	// Setup returns a fresh engine setup for one simulation. It must be
+	// safe for concurrent calls and must rebuild anything a run mutates
+	// (in particular the cluster — failure flags are per-run state);
+	// the node IDs and failure-domain layout must be identical across
+	// calls so that scenario node sets stay meaningful.
+	Setup func() (engine.Setup, error)
+	// Scenarios to execute, typically from Generate.
+	Scenarios []Scenario
+	// Horizon is the virtual run time of each simulation (default 120s).
+	Horizon sim.Time
+	// Workers bounds the worker pool; <=0 selects GOMAXPROCS, 1 runs
+	// sequentially. Results are aggregated in scenario order, so the
+	// campaign is deterministic for a given seed regardless of Workers.
+	Workers int
+	// Baseline is the failure-free sink-tuple volume the loss metric is
+	// measured against; 0 runs one baseline simulation. The baseline
+	// depends only on Setup and Horizon, so sweeps sharing both (e.g.
+	// the same planner over several burst models) can reuse the
+	// BaselineSinkTuples of an earlier Report.
+	Baseline int
+}
+
+// ScenarioResult is the outcome of one simulated scenario.
+type ScenarioResult struct {
+	Scenario Scenario
+	// FailedTasks is the number of primary tasks hit by the scenario.
+	FailedTasks int
+	// Recovered reports whether every failed task caught up with its
+	// pre-failure progress before the horizon.
+	Recovered bool
+	// WorstLatency is the maximum per-task recovery latency (detection
+	// to catch-up, §VI) — the completion time of the whole recovery.
+	// Only meaningful when Recovered.
+	WorstLatency sim.Time
+	// SinkTuples is the output volume observed at the sinks.
+	SinkTuples int
+	// OutputLoss is the relative output deficit vs the failure-free
+	// baseline, clamped to [0,1].
+	OutputLoss float64
+}
+
+// Dist summarises a sample distribution.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// NewDist computes the summary of a sample (nearest-rank percentiles).
+// The zero Dist is returned for an empty sample.
+func NewDist(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	pick := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return Dist{
+		Mean: sum / float64(len(s)),
+		P50:  pick(0.50),
+		P95:  pick(0.95),
+		P99:  pick(0.99),
+		Max:  s[len(s)-1],
+	}
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Scenarios   int `json:"scenarios"`
+	Unrecovered int `json:"unrecovered"`
+	// Latency summarises the worst-task recovery latency (seconds) of
+	// the scenarios that fully recovered.
+	Latency Dist `json:"latency_s"`
+	// Loss summarises the relative output loss of every scenario.
+	Loss Dist `json:"output_loss"`
+	// FailedTasks summarises the blast radius (failed primary tasks per
+	// scenario).
+	FailedTasks Dist `json:"failed_tasks"`
+}
+
+// Report is the full outcome of one campaign.
+type Report struct {
+	Results []ScenarioResult
+	Summary Summary
+	// BaselineSinkTuples is the failure-free output volume the loss
+	// metric is measured against.
+	BaselineSinkTuples int
+}
+
+// Run executes the campaign: one failure-free baseline simulation, then
+// every scenario on the worker pool. For a fixed Config (same scenarios,
+// same Setup semantics) the report is identical regardless of Workers.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Setup == nil {
+		return nil, fmt.Errorf("campaign: no Setup factory")
+	}
+	if len(cfg.Scenarios) == 0 {
+		return nil, fmt.Errorf("campaign: no scenarios")
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = 120
+	}
+	base := cfg.Baseline
+	if base == 0 {
+		baseline, err := runOne(cfg.Setup, nil, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: baseline run: %w", err)
+		}
+		base = baseline.SinkTuples
+	}
+
+	results := make([]ScenarioResult, len(cfg.Scenarios))
+	errs := make([]error, len(cfg.Scenarios))
+	par.Each(len(cfg.Scenarios), cfg.Workers, func(i int) {
+		sc := cfg.Scenarios[i]
+		r, err := runOne(cfg.Setup, sc.Waves, horizon)
+		if err != nil {
+			errs[i] = fmt.Errorf("campaign: scenario %d (%s): %w", sc.Index, sc.Label, err)
+			return
+		}
+		r.Scenario = sc
+		if base > 0 {
+			r.OutputLoss = 1 - float64(r.SinkTuples)/float64(base)
+			if r.OutputLoss < 0 {
+				r.OutputLoss = 0 // replay can re-emit batches at sinks
+			}
+		}
+		results[i] = r
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Report{
+		Results:            results,
+		Summary:            summarise(results),
+		BaselineSinkTuples: base,
+	}, nil
+}
+
+// runOne executes one simulation with the given failure waves.
+func runOne(setup func() (engine.Setup, error), waves []Wave, horizon sim.Time) (ScenarioResult, error) {
+	s, err := setup()
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	e, err := engine.New(s)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	for _, w := range waves {
+		e.ScheduleNodeFailures(w.Nodes, w.At)
+	}
+	e.Run(horizon)
+	res := ScenarioResult{Recovered: true, SinkTuples: e.SinkTupleCount()}
+	for _, st := range e.RecoveryStats() {
+		res.FailedTasks++
+		if !st.Recovered {
+			res.Recovered = false
+			continue
+		}
+		if lat := st.RecoveredAt - st.DetectedAt; lat > res.WorstLatency {
+			res.WorstLatency = lat
+		}
+	}
+	return res, nil
+}
+
+// summarise reduces the per-scenario results in index order, so the
+// summary is bit-identical across worker counts.
+func summarise(results []ScenarioResult) Summary {
+	sum := Summary{Scenarios: len(results)}
+	var lats, losses, blast []float64
+	for _, r := range results {
+		losses = append(losses, r.OutputLoss)
+		blast = append(blast, float64(r.FailedTasks))
+		if !r.Recovered {
+			sum.Unrecovered++
+			continue
+		}
+		if r.FailedTasks > 0 {
+			lats = append(lats, float64(r.WorstLatency))
+		}
+	}
+	sum.Latency = NewDist(lats)
+	sum.Loss = NewDist(losses)
+	sum.FailedTasks = NewDist(blast)
+	return sum
+}

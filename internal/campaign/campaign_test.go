@@ -1,0 +1,304 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// testEnv builds a small, fast campaign environment.
+func testEnv(t testing.TB, planner string) *Env {
+	t.Helper()
+	topo, err := PresetTopology(TopoSmall, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(EnvSpec{Topo: topo, Planner: planner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestGenerateDeterministicAndShaped(t *testing.T) {
+	env := testEnv(t, "")
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range Models {
+		spec := GenSpec{Seed: 7, Scenarios: 20, Model: model, Correlation: DefaultCorrelation}
+		a, err := Generate(c, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		b, err := Generate(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different scenarios", model)
+		}
+		for _, sc := range a {
+			if len(sc.Waves) == 0 {
+				t.Fatalf("%s: scenario %d has no waves", model, sc.Index)
+			}
+			for _, w := range sc.Waves {
+				if len(w.Nodes) == 0 {
+					t.Fatalf("%s: scenario %d has an empty wave", model, sc.Index)
+				}
+				if w.At < 30.5 {
+					t.Fatalf("%s: wave before FailAt: %v", model, w.At)
+				}
+			}
+			switch model {
+			case SingleNode:
+				if len(sc.Waves) != 1 || len(sc.Waves[0].Nodes) != 1 {
+					t.Fatalf("single-node scenario %d fails %v", sc.Index, sc.Waves)
+				}
+			case KOfRack, WholeDomain:
+				if len(sc.Waves) != 1 {
+					t.Fatalf("%s scenario %d has %d waves", model, sc.Index, len(sc.Waves))
+				}
+				rack := c.DomainOf(sc.Waves[0].Nodes[0])
+				rackNodes := map[cluster.NodeID]bool{}
+				for _, n := range c.DomainNodes(rack) {
+					rackNodes[n] = true
+				}
+				for _, n := range sc.Waves[0].Nodes {
+					if !rackNodes[n] {
+						t.Fatalf("%s scenario %d: node %d outside rack %d", model, sc.Index, n, rack)
+					}
+				}
+				if model == WholeDomain && len(sc.Waves[0].Nodes) != len(c.DomainNodes(rack)) {
+					t.Fatalf("domain scenario %d fails %d of %d rack nodes", sc.Index, len(sc.Waves[0].Nodes), len(c.DomainNodes(rack)))
+				}
+			case Cascade:
+				for i := 1; i < len(sc.Waves); i++ {
+					if sc.Waves[i].At <= sc.Waves[i-1].At {
+						t.Fatalf("cascade scenario %d: waves not staggered", sc.Index)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	env := testEnv(t, "")
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(c, GenSpec{Scenarios: 0}); err == nil {
+		t.Error("zero scenarios accepted")
+	}
+	if _, err := Generate(c, GenSpec{Scenarios: 1, Correlation: 2}); err == nil {
+		t.Error("correlation > 1 accepted")
+	}
+	// A cluster without rack domains only supports SingleNode.
+	bare := cluster.New(4, 2)
+	if _, err := Generate(bare, GenSpec{Scenarios: 1, Model: WholeDomain}); err == nil {
+		t.Error("domain model without rack domains accepted")
+	}
+	if _, err := Generate(bare, GenSpec{Scenarios: 3, Model: SingleNode}); err != nil {
+		t.Errorf("single-node on bare cluster: %v", err)
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers is the determinism acceptance
+// check: the same seed yields identical aggregate results whether the
+// scenarios run sequentially or on the full worker pool.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	env := testEnv(t, "greedy")
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := Generate(c, GenSpec{Seed: 42, Scenarios: 16, Model: KOfRack, Correlation: DefaultCorrelation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Report {
+		rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 90, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel campaign differs from sequential:\nseq: %+v\npar: %+v", seq.Summary, par.Summary)
+	}
+	again := run(8)
+	if !reflect.DeepEqual(par, again) {
+		t.Fatal("same seed, same workers produced different reports")
+	}
+}
+
+func TestCampaignRecoversAndMeasures(t *testing.T) {
+	env := testEnv(t, "sa")
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := Generate(c, GenSpec{Seed: 1, Scenarios: 8, Model: WholeDomain, Correlation: DefaultCorrelation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineSinkTuples <= 0 {
+		t.Fatal("baseline produced no sink output")
+	}
+	if rep.Summary.Scenarios != 8 {
+		t.Fatalf("summary covers %d scenarios", rep.Summary.Scenarios)
+	}
+	if rep.Summary.Unrecovered > 0 {
+		t.Fatalf("%d of 8 domain scenarios unrecovered by 150s", rep.Summary.Unrecovered)
+	}
+	if rep.Summary.Latency.Mean <= 0 || rep.Summary.Latency.Max < rep.Summary.Latency.P95 {
+		t.Fatalf("implausible latency distribution %+v", rep.Summary.Latency)
+	}
+	if rep.Summary.FailedTasks.Max <= 0 {
+		t.Fatal("domain failures hit no tasks")
+	}
+	for _, r := range rep.Results {
+		if r.OutputLoss < 0 || r.OutputLoss > 1 {
+			t.Fatalf("loss %v out of range", r.OutputLoss)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	env := testEnv(t, "")
+	if _, err := Run(Config{Scenarios: []Scenario{{}}}); err == nil {
+		t.Error("missing Setup accepted")
+	}
+	if _, err := Run(Config{Setup: env.Setup}); err == nil {
+		t.Error("empty scenario list accepted")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range Models {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("meteor"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{TopoSmall, TopoMedium, TopoLarge} {
+		topo, err := PresetTopology(name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if topo.NumTasks() == 0 {
+			t.Fatalf("%s: empty topology", name)
+		}
+	}
+	if _, err := PresetTopology("galactic", 3); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := NewEnv(EnvSpec{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	topo, _ := PresetTopology(TopoSmall, 3)
+	if _, err := NewEnv(EnvSpec{Topo: topo, Planner: "astrology"}); err == nil {
+		t.Error("unknown planner accepted")
+	}
+}
+
+// TestEnvClusterStable verifies the property Run relies on: every
+// Cluster() call yields an identical node/domain layout.
+func TestEnvClusterStable(t *testing.T) {
+	env := testEnv(t, "")
+	a, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes()) != len(b.Nodes()) || len(a.Domains()) != len(b.Domains()) {
+		t.Fatal("cluster layout not reproducible")
+	}
+	for _, n := range a.Nodes() {
+		if a.DomainOf(n.ID) != b.DomainOf(n.ID) {
+			t.Fatalf("node %d attached to different domains across builds", n.ID)
+		}
+	}
+}
+
+var benchSink *Report
+
+// BenchmarkCampaign measures the campaign runner sequentially and on
+// the full worker pool; the parallel/sequential ratio is the headline
+// scalability number (>2x expected on 4+ cores).
+func BenchmarkCampaign(b *testing.B) {
+	topo, err := PresetTopology(TopoMedium, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := NewEnv(EnvSpec{Topo: topo, Planner: "greedy"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := env.Cluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios, err := Generate(c, GenSpec{Seed: 5, Scenarios: 32, Model: KOfRack, Correlation: DefaultCorrelation})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 90, Workers: tc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink = rep
+			}
+		})
+	}
+}
+
+func TestEnvWindowKnobsUnified(t *testing.T) {
+	topo, err := PresetTopology(TopoSmall, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Config.WindowBatches alone propagates everywhere.
+	env, err := NewEnv(EnvSpec{Topo: topo, Config: engine.Config{WindowBatches: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := env.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config.WindowBatches != 30 {
+		t.Errorf("engine window = %d, want 30", s.Config.WindowBatches)
+	}
+	// Conflicting knobs are rejected instead of silently diverging.
+	_, err = NewEnv(EnvSpec{Topo: topo, WindowBatches: 10, Config: engine.Config{WindowBatches: 30}})
+	if err == nil {
+		t.Error("conflicting window knobs accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/randtopo"
+	"repro/internal/topology"
+)
+
+// EnvSpec describes a campaign environment: a topology executed with
+// the synthetic count workload (constant-rate sources, windowed
+// operators — the §VI-A methodology generalised to arbitrary DAGs),
+// placed on a domain-structured cluster, protected by a PPA plan.
+type EnvSpec struct {
+	// Topo is the query topology (required).
+	Topo *topology.Topology
+	// Planner is a plan-registry name ("sa", "greedy", "dp", ...); ""
+	// disables active replication (pure checkpoint recovery).
+	Planner string
+	// Fraction is the actively replicated fraction of tasks for Planner
+	// (default 0.3).
+	Fraction float64
+	// TasksPerNode controls cluster sizing (default 2 primary tasks per
+	// processing node).
+	TasksPerNode int
+	// Layout is the failure-domain layout; the zero value scales
+	// DefaultLayout to ~4 processing nodes per rack.
+	Layout cluster.Layout
+	// WindowBatches is the operators' sliding window (default 10). It
+	// is the single window knob: Setup always propagates it into the
+	// engine config, so the operator windows and the engine's
+	// source-replay window can never diverge. Setting
+	// Config.WindowBatches instead (and leaving this zero) is
+	// equivalent.
+	WindowBatches int
+	// Config overrides engine defaults; zero fields keep them.
+	// Config.WindowBatches is unified with WindowBatches above.
+	Config engine.Config
+}
+
+// Env is a reusable campaign environment. The expensive, immutable
+// parts (topology, plan, factories) are computed once; Setup rebuilds
+// the mutable cluster per simulation.
+type Env struct {
+	spec       EnvSpec
+	strategies []engine.Strategy
+	sources    map[int]engine.SourceFactory
+	operators  map[int]engine.OperatorFactory
+	processing int
+	standby    int
+	layout     cluster.Layout
+}
+
+// NewEnv validates the spec, computes the replication plan and the
+// operator factories, and fixes the cluster dimensions and domain
+// layout.
+func NewEnv(spec EnvSpec) (*Env, error) {
+	if spec.Topo == nil {
+		return nil, fmt.Errorf("campaign: no topology")
+	}
+	if spec.Fraction == 0 {
+		spec.Fraction = 0.3
+	}
+	if spec.TasksPerNode <= 0 {
+		spec.TasksPerNode = 2
+	}
+	if spec.WindowBatches == 0 {
+		spec.WindowBatches = spec.Config.WindowBatches
+	}
+	if spec.WindowBatches == 0 {
+		spec.WindowBatches = 10
+	}
+	if spec.Config.WindowBatches != 0 && spec.Config.WindowBatches != spec.WindowBatches {
+		return nil, fmt.Errorf("campaign: WindowBatches %d and Config.WindowBatches %d disagree",
+			spec.WindowBatches, spec.Config.WindowBatches)
+	}
+	n := spec.Topo.NumTasks()
+	env := &Env{
+		spec:       spec,
+		processing: max(2, (n+spec.TasksPerNode-1)/spec.TasksPerNode),
+		sources:    make(map[int]engine.SourceFactory),
+		operators:  make(map[int]engine.OperatorFactory),
+	}
+	env.standby = max(2, env.processing/2)
+	env.layout = spec.Layout
+	if env.layout.Zones == 0 {
+		env.layout = cluster.DefaultLayout()
+		env.layout.RacksPerZone = max(1, int(math.Ceil(float64(env.processing)/float64(env.layout.Zones*4))))
+	}
+
+	batch := spec.Config.BatchInterval
+	if batch == 0 {
+		batch = 1
+	}
+	for op, o := range spec.Topo.Ops {
+		if spec.Topo.IsSource(op) {
+			per := int(o.SourceRate * float64(batch))
+			if per <= 0 {
+				per = 1000
+			}
+			env.sources[op] = engine.NewCountSourceFactory(per)
+		} else {
+			env.operators[op] = engine.NewWindowCountFactory(spec.WindowBatches, o.Selectivity)
+		}
+	}
+
+	env.strategies = make([]engine.Strategy, n)
+	if spec.Planner != "" {
+		pl, ok := plan.Lookup(spec.Planner)
+		if !ok {
+			return nil, fmt.Errorf("campaign: unknown planner %q (registered: %v)", spec.Planner, plan.Names())
+		}
+		budget := int(math.Round(spec.Fraction * float64(n)))
+		p, err := pl.Plan(plan.NewContext(spec.Topo), budget)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s planning: %w", spec.Planner, err)
+		}
+		for _, id := range p.Tasks() {
+			env.strategies[id] = engine.StrategyActive
+		}
+	}
+	return env, nil
+}
+
+// Cluster builds a fresh domain-structured cluster with the environment
+// layout and round-robin placement. Every call yields an identical
+// layout, so scenario node IDs are portable across simulations.
+func (env *Env) Cluster() (*cluster.Cluster, error) {
+	c := cluster.New(env.processing, env.standby)
+	if _, err := c.BuildDomains(env.layout); err != nil {
+		return nil, err
+	}
+	if err := c.PlaceRoundRobin(env.spec.Topo); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Setup implements Config.Setup: a fresh engine setup per simulation.
+func (env *Env) Setup() (engine.Setup, error) {
+	c, err := env.Cluster()
+	if err != nil {
+		return engine.Setup{}, err
+	}
+	cfg := env.spec.Config
+	cfg.WindowBatches = env.spec.WindowBatches
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 15
+	}
+	return engine.Setup{
+		Topology:   env.spec.Topo,
+		Cluster:    c,
+		Config:     cfg,
+		Sources:    env.sources,
+		Operators:  env.operators,
+		Strategies: append([]engine.Strategy(nil), env.strategies...),
+	}, nil
+}
+
+// Topology preset names for cmd/ppastorm and the experiments.
+const (
+	TopoSmall  = "small"
+	TopoMedium = "medium"
+	TopoLarge  = "large"
+)
+
+// PresetSpec returns the randtopo spec of a named topology preset:
+// small (5-6 ops, parallelism 1-4), medium (the paper's §VI-C baseline:
+// 5-10 ops, parallelism 1-10) and large (10-14 ops, parallelism 6-16).
+func PresetSpec(name string, seed int64) (randtopo.Spec, error) {
+	spec := randtopo.DefaultSpec(seed)
+	switch name {
+	case TopoSmall:
+		spec.MinOps, spec.MaxOps = 5, 6
+		spec.MinPar, spec.MaxPar = 1, 4
+	case TopoMedium:
+		// the §VI-C baseline
+	case TopoLarge:
+		spec.MinOps, spec.MaxOps = 10, 14
+		spec.MinPar, spec.MaxPar = 6, 16
+	default:
+		return randtopo.Spec{}, fmt.Errorf("campaign: unknown topology preset %q (known: small, medium, large)", name)
+	}
+	return spec, nil
+}
+
+// PresetTopology generates a named preset topology.
+func PresetTopology(name string, seed int64) (*topology.Topology, error) {
+	spec, err := PresetSpec(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return randtopo.Generate(spec)
+}

@@ -1,0 +1,241 @@
+// Package campaign generates and executes Monte-Carlo failure
+// campaigns: thousands of seeded, reproducible correlated-failure
+// scenarios drawn from a cluster's failure-domain tree, each run as an
+// independent engine simulation on a worker pool, with recovery-latency
+// and output-loss distributions aggregated per configuration. It is the
+// repo's standard scale/perf harness: where the §VI experiments replay
+// the paper's fixed failure injections, a campaign sweeps the space of
+// correlated failures (single node, k-of-rack bursts, whole-domain
+// outages, cascading multi-domain bursts) that the failure-domain model
+// makes expressible.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Model is a burst model: the shape of one randomized correlated
+// failure.
+type Model int
+
+const (
+	// SingleNode fails one uniformly drawn processing node — the
+	// paper's single-failure baseline as a degenerate domain.
+	SingleNode Model = iota
+	// KOfRack fails a partial blast radius: one rack is drawn, each of
+	// its remaining nodes fails with probability Correlation alongside
+	// a seed node.
+	KOfRack
+	// WholeDomain fails every node of one drawn rack — the shared
+	// switch/power-feed outage.
+	WholeDomain
+	// Cascade fails one rack of a drawn zone, then spreads to each
+	// sibling rack with probability Correlation, staggered by
+	// CascadeLag — a rolling multi-domain burst.
+	Cascade
+)
+
+// Models lists every burst model.
+var Models = []Model{SingleNode, KOfRack, WholeDomain, Cascade}
+
+// DefaultCorrelation is the baseline correlation strength of the
+// sweeps (GenSpec.Correlation is honoured verbatim, including 0).
+const DefaultCorrelation = 0.5
+
+// String names the model as used by cmd/ppastorm.
+func (m Model) String() string {
+	switch m {
+	case SingleNode:
+		return "single"
+	case KOfRack:
+		return "k-of-rack"
+	case WholeDomain:
+		return "domain"
+	case Cascade:
+		return "cascade"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParseModel resolves a model name (as printed by String).
+func ParseModel(s string) (Model, error) {
+	for _, m := range Models {
+		if m.String() == strings.TrimSpace(s) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("campaign: unknown burst model %q (known: single, k-of-rack, domain, cascade)", s)
+}
+
+// Wave is one instant of a scenario: a set of nodes failing together.
+type Wave struct {
+	At    sim.Time
+	Nodes []cluster.NodeID
+}
+
+// Scenario is one reproducible failure scenario: one or more waves of
+// simultaneous node failures.
+type Scenario struct {
+	Index int
+	Model Model
+	Label string
+	Waves []Wave
+}
+
+// GenSpec controls scenario generation. The zero value is not valid;
+// fill at least Scenarios and use withDefaults-documented defaults for
+// the rest.
+type GenSpec struct {
+	// Seed drives all randomness. Scenario i depends only on Seed+i, so
+	// campaigns are reproducible and individual scenarios can be replayed
+	// in isolation.
+	Seed int64
+	// Scenarios is the number of scenarios to generate.
+	Scenarios int
+	// Model selects the burst shape.
+	Model Model
+	// FailAt is the base injection time (default 30.5 virtual seconds);
+	// each scenario jitters it by up to JitterS.
+	FailAt sim.Time
+	// JitterS is the injection-time jitter in seconds (default 1) —
+	// avoids phase-locking failures with checkpoint timers.
+	JitterS float64
+	// Correlation in [0,1] is the correlation strength: the probability
+	// that a node (KOfRack) or sibling rack (Cascade) joins the burst.
+	// Zero is honoured as fully uncorrelated (one node / one rack);
+	// DefaultCorrelation is a reasonable sweep baseline.
+	Correlation float64
+	// CascadeLag is the delay between successive Cascade waves
+	// (default 2s).
+	CascadeLag sim.Time
+}
+
+func (s GenSpec) withDefaults() GenSpec {
+	if s.FailAt == 0 {
+		s.FailAt = 30.5
+	}
+	if s.JitterS == 0 {
+		s.JitterS = 1
+	}
+	if s.CascadeLag == 0 {
+		s.CascadeLag = 2
+	}
+	return s
+}
+
+// Generate draws spec.Scenarios scenarios against the cluster's
+// failure-domain tree. The cluster is only inspected, never mutated;
+// node IDs refer to any identically laid-out cluster, so the campaign
+// runner can rebuild a fresh cluster per simulation. KOfRack,
+// WholeDomain and Cascade require the cluster to have rack domains
+// (cluster.BuildDomains).
+func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
+	spec = spec.withDefaults()
+	if spec.Scenarios <= 0 {
+		return nil, fmt.Errorf("campaign: need a positive scenario count, got %d", spec.Scenarios)
+	}
+	if spec.Correlation < 0 || spec.Correlation > 1 {
+		return nil, fmt.Errorf("campaign: correlation %v out of [0,1]", spec.Correlation)
+	}
+	proc := c.ProcessingNodes()
+	if len(proc) == 0 {
+		return nil, fmt.Errorf("campaign: cluster has no processing nodes")
+	}
+	// Only racks that actually hold nodes can produce a burst.
+	var racks []cluster.DomainID
+	for _, r := range c.DomainsOfKind("rack") {
+		if len(c.DomainNodes(r)) > 0 {
+			racks = append(racks, r)
+		}
+	}
+	if spec.Model != SingleNode && len(racks) == 0 {
+		return nil, fmt.Errorf("campaign: model %s needs non-empty rack domains (call cluster.BuildDomains)", spec.Model)
+	}
+	zones := c.DomainsOfKind("zone")
+
+	out := make([]Scenario, spec.Scenarios)
+	for i := range out {
+		// Per-scenario RNG: scenario i is a pure function of Seed+i.
+		rng := rand.New(rand.NewSource(spec.Seed + int64(i)*1_000_003))
+		at := spec.FailAt + sim.Time(rng.Float64()*spec.JitterS)
+		sc := Scenario{Index: i, Model: spec.Model}
+		switch spec.Model {
+		case SingleNode:
+			n := proc[rng.Intn(len(proc))].ID
+			sc.Label = fmt.Sprintf("node-%d", n)
+			sc.Waves = []Wave{{At: at, Nodes: []cluster.NodeID{n}}}
+		case KOfRack:
+			rack, nodes := pickRack(c, racks, rng)
+			burst := []cluster.NodeID{nodes[rng.Intn(len(nodes))]}
+			for _, n := range nodes {
+				if n != burst[0] && rng.Float64() < spec.Correlation {
+					burst = append(burst, n)
+				}
+			}
+			sortNodes(burst)
+			sc.Label = fmt.Sprintf("rack-%d/k=%d", rack, len(burst))
+			sc.Waves = []Wave{{At: at, Nodes: burst}}
+		case WholeDomain:
+			rack, nodes := pickRack(c, racks, rng)
+			sc.Label = fmt.Sprintf("rack-%d/all", rack)
+			sc.Waves = []Wave{{At: at, Nodes: nodes}}
+		case Cascade:
+			sc.Label, sc.Waves = genCascade(c, racks, zones, rng, at, spec)
+		default:
+			return nil, fmt.Errorf("campaign: unknown burst model %d", spec.Model)
+		}
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// pickRack draws one rack; Generate pre-filters racks to non-empty
+// ones, so the node list is never empty.
+func pickRack(c *cluster.Cluster, racks []cluster.DomainID, rng *rand.Rand) (cluster.DomainID, []cluster.NodeID) {
+	rack := racks[rng.Intn(len(racks))]
+	return rack, c.DomainNodes(rack)
+}
+
+// genCascade builds a rolling multi-rack burst within one zone.
+func genCascade(c *cluster.Cluster, racks []cluster.DomainID, zones []cluster.DomainID, rng *rand.Rand, at sim.Time, spec GenSpec) (string, []Wave) {
+	// Group racks by zone; fall back to treating all racks as one zone.
+	var pool []cluster.DomainID
+	if len(zones) > 0 {
+		zone := zones[rng.Intn(len(zones))]
+		for _, r := range racks {
+			if c.Domain(r).Parent == zone {
+				pool = append(pool, r)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		pool = racks
+	}
+	order := rng.Perm(len(pool))
+	var waves []Wave
+	var labels []string
+	for j, idx := range order {
+		rack := pool[idx]
+		if j > 0 && rng.Float64() >= spec.Correlation {
+			continue
+		}
+		nodes := c.DomainNodes(rack)
+		if len(nodes) == 0 {
+			continue
+		}
+		waves = append(waves, Wave{At: at + sim.Time(len(waves))*spec.CascadeLag, Nodes: nodes})
+		labels = append(labels, fmt.Sprintf("rack-%d", rack))
+	}
+	return "cascade[" + strings.Join(labels, ",") + "]", waves
+}
+
+func sortNodes(ns []cluster.NodeID) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}

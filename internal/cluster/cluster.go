@@ -29,6 +29,9 @@ type Cluster struct {
 	nodes     []*Node
 	placement map[topology.TaskID]NodeID // primary task -> processing node
 	replicaOn map[topology.TaskID]NodeID // replicated task -> standby node
+
+	domains    []*Domain           // failure-domain tree, root first (see domain.go)
+	nodeDomain map[NodeID]DomainID // node -> directly attached domain
 }
 
 // New builds a cluster with the given number of processing and standby
@@ -159,6 +162,15 @@ func (c *Cluster) FailAllProcessing() []topology.TaskID {
 // RestoreNode clears a node's failed flag (after repair).
 func (c *Cluster) RestoreNode(id NodeID) {
 	if n := c.Node(id); n != nil {
+		n.Failed = false
+	}
+}
+
+// Reset clears every node's failed flag, returning the cluster to its
+// pre-failure state. Placement, replicas and failure domains are kept:
+// Reset models repairing the hardware, not rebuilding the cluster.
+func (c *Cluster) Reset() {
+	for _, n := range c.nodes {
 		n.Failed = false
 	}
 }

@@ -41,6 +41,7 @@ type Engine struct {
 	store  map[topology.TaskID]*checkpointData
 
 	sinks        []SinkRecord
+	sinkTuples   int // total tuples (materialised + counted) seen at sinks
 	currentBatch int // last batch emitted by the source ticker
 	horizon      sim.Time
 }
@@ -288,10 +289,66 @@ func (e *Engine) scheduleReplicaTrim(id topology.TaskID, at sim.Time) {
 
 // ScheduleNodeFailure injects a node failure at the given virtual time.
 func (e *Engine) ScheduleNodeFailure(node cluster.NodeID, at sim.Time) {
-	e.clock.At(at, func() {
-		ids := e.clus.FailNode(node)
-		e.failTasks(ids)
-	})
+	e.ScheduleNodeFailures([]cluster.NodeID{node}, at)
+}
+
+// ScheduleNodeFailures injects a simultaneous failure of a set of nodes
+// at the given virtual time — one correlated burst. Failing a standby
+// node kills the active replicas it hosts, so a burst that spans both a
+// primary and its replica forces the fallback to checkpoint recovery.
+func (e *Engine) ScheduleNodeFailures(nodes []cluster.NodeID, at sim.Time) {
+	set := append([]cluster.NodeID(nil), nodes...)
+	e.clock.At(at, func() { e.injectNodeFailures(set) })
+}
+
+// ScheduleDomainFailure injects the correlated failure of one failure
+// domain (rack, zone, ...) at the given virtual time: every node of the
+// domain subtree goes down at once.
+func (e *Engine) ScheduleDomainFailure(dom cluster.DomainID, at sim.Time) {
+	e.clock.At(at, func() { e.injectNodeFailures(e.clus.DomainNodes(dom)) })
+}
+
+// injectNodeFailures is the common burst handler: mark the nodes
+// failed, fail the primary tasks placed on them, fail the primaries
+// that are promoted replicas running on a failed standby node (the
+// placement map does not know those hosts), and kill the active
+// replicas hosted on failed standby nodes.
+func (e *Engine) injectNodeFailures(nodes []cluster.NodeID) {
+	var ids []topology.TaskID
+	for _, n := range nodes {
+		ids = append(ids, e.clus.FailNode(n)...)
+	}
+	for id, rt := range e.tasks {
+		if rt == nil || rt.failed || !rt.promoted {
+			continue
+		}
+		if n, ok := e.clus.ReplicaNodeOf(topology.TaskID(id)); ok {
+			if nd := e.clus.Node(n); nd != nil && nd.Failed {
+				ids = append(ids, topology.TaskID(id))
+			}
+		}
+	}
+	sortIDs(ids)
+	e.failReplicasOnFailedNodes()
+	e.failTasks(ids)
+}
+
+// failReplicasOnFailedNodes marks the active replicas hosted on failed
+// standby nodes as failed themselves; recovery then falls back to the
+// passive (checkpoint) layer.
+func (e *Engine) failReplicasOnFailedNodes() {
+	for id, rep := range e.replicas {
+		if rep == nil || rep.failed {
+			continue
+		}
+		node, ok := e.clus.ReplicaNodeOf(topology.TaskID(id))
+		if !ok {
+			continue
+		}
+		if n := e.clus.Node(node); n != nil && n.Failed {
+			rep.failed = true
+		}
+	}
 }
 
 // ScheduleCorrelatedFailure fails every processing node at the given
@@ -324,6 +381,13 @@ func (e *Engine) failTasks(ids []topology.TaskID) {
 
 // SinkRecords returns all outputs observed at sink tasks so far.
 func (e *Engine) SinkRecords() []SinkRecord { return e.sinks }
+
+// SinkTupleCount returns the total number of tuples observed at sink
+// tasks so far, counting both materialised tuples and unmaterialised
+// (count-only) output. Recovery replay may re-emit batches at a
+// restored sink, so the count can slightly exceed the failure-free
+// volume; output-loss measurements clamp at zero.
+func (e *Engine) SinkTupleCount() int { return e.sinkTuples }
 
 // RecoveryStats returns per-task failure/recovery measurements, sorted
 // by task ID.

@@ -117,8 +117,34 @@ func (m *master) recoverActive(id topology.TaskID, f *failure) {
 	e.clock.After(e.cfg.ReplicaActivateCost, func() {
 		rep.isReplica = false
 		rep.recovering = true
+		rep.promoted = true
 		e.tasks[id] = rep
 		e.replicas[id] = nil
+		if rep.isSource && e.cfg.CheckpointInterval > 0 {
+			// A source replica is driven by no one: it holds no generated
+			// batches. Rewind to the oldest batch any downstream could
+			// still request on recovery — its last checkpoint (ckptBound,
+			// kept fresh by checkpoint trims), or batch 0 for a downstream
+			// that never checkpointed and would cold-restart — and
+			// regenerate. Without checkpointing there is nothing
+			// downstream could replay, so no regeneration is needed.
+			// Regeneration costs no virtual time: the promoted source is
+			// caught up immediately.
+			from := 0
+			for i, d := range rep.downstreamIDs() {
+				b, ok := rep.ckptBound[d]
+				if !ok {
+					from = 0
+					break
+				}
+				if i == 0 || b+1 < from {
+					from = b + 1
+				}
+			}
+			rep.nextBatch = from
+			rep.processedBatch = from - 1
+			rep.catchUpSource(e.currentBatch)
+		}
 		// Resend the output the failed primary may not have delivered:
 		// everything since the last progress ack. Older buffered batches
 		// stay available for downstream checkpoint replay.

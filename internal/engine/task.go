@@ -33,7 +33,12 @@ type taskRuntime struct {
 	// recovering is set while the incarnation works to reach the failed
 	// predecessor's progress.
 	recovering bool
-	epoch      int
+	// promoted marks a primary incarnation that started life as an
+	// active replica: it runs on the standby node of the cluster's
+	// replica placement, not on the task's primary placement, so node
+	// failures must check that host instead.
+	promoted bool
+	epoch    int
 
 	upstreams []topology.TaskID
 	upOp      map[topology.TaskID]int
@@ -69,8 +74,9 @@ type taskRuntime struct {
 	ckptCPU sim.Time
 
 	// emit staging during batch processing
-	emitting map[topology.TaskID]*Batch
-	sinkOut  []Tuple
+	emitting  map[topology.TaskID]*Batch
+	sinkOut   []Tuple
+	sinkCount int // unmaterialised tuples emitted at a sink this batch
 }
 
 func newTaskRuntime(e *Engine, id topology.TaskID, isReplica bool) *taskRuntime {
@@ -245,8 +251,10 @@ func (rt *taskRuntime) completeBatch(b int, cost sim.Time) {
 		for _, t := range rt.sinkOut {
 			rt.eng.sinks = append(rt.eng.sinks, SinkRecord{Task: rt.id, Batch: b, Tuple: t, Tentative: tentative})
 		}
+		rt.eng.sinkTuples += len(rt.sinkOut) + rt.sinkCount
 	}
 	rt.sinkOut = nil
+	rt.sinkCount = 0
 	if rt.recovering {
 		rt.eng.master.checkRecovered(rt)
 	}
@@ -274,6 +282,7 @@ func (rt *taskRuntime) EmitCount(n int) {
 		return
 	}
 	if len(rt.routes) == 0 {
+		rt.sinkCount += n
 		return
 	}
 	for i := range rt.routes {

@@ -243,3 +243,32 @@ func abs(x float64) float64 {
 }
 
 var _ = engine.StrategyActive // keep the import for the technique table
+
+// TestDomainSweepShape runs a small Monte-Carlo domain sweep and checks
+// its structure: one latency and one loss series per planner, one point
+// per burst model, and the paper's qualitative expectation that bigger
+// blast radii do not recover faster than single-node failures.
+func TestDomainSweepShape(t *testing.T) {
+	r, err := DomainSweep([]string{"sa", "greedy"}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("%d series, want 4 (%v)", len(r.Series), names(r))
+	}
+	for _, s := range r.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %q has %d points, want one per burst model", s.Name, len(s.Points))
+		}
+	}
+	for _, planner := range []string{"sa", "greedy"} {
+		single := point(t, r, planner+"-p95", "single")
+		domain := point(t, r, planner+"-p95", "domain")
+		if single <= 0 || domain <= 0 {
+			t.Errorf("%s: non-positive p95 latencies (single=%v domain=%v)", planner, single, domain)
+		}
+		if domain < single*0.5 {
+			t.Errorf("%s: whole-domain p95 (%v) implausibly below single-node p95 (%v)", planner, domain, single)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package par provides the repo's deterministic worker pool: an atomic
+// cursor over a fixed index space. Each index is computed independently
+// and lands at its own slot, so callers that merge results in index
+// order observe output identical to a sequential loop — the planners
+// and the failure-campaign runner both rely on this for bit-identical
+// results at any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map computes fn(i) for every i in [0, n) on up to workers goroutines
+// and returns the results in index order. workers <= 0 selects
+// GOMAXPROCS; workers == 1 runs inline.
+func Map[T any](n, workers int, fn func(int) T) []T {
+	out := make([]T, n)
+	Each(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Each runs fn(i) for every i in [0, n) on up to workers goroutines.
+// workers <= 0 selects GOMAXPROCS; workers == 1 runs inline.
+func Each(n, workers int, fn func(int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

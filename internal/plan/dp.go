@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/mctree"
+	"repro/internal/par"
 )
 
 // ErrSearchSpace is returned by the dynamic programming planner when the
@@ -88,7 +89,7 @@ func (d DP) Plan(c *Context, budget int) (Plan, error) {
 	}
 
 	for usage := 1; usage <= budget; usage++ {
-		exps := parallelMap(len(states), opts.Workers, func(i int) expansion {
+		exps := par.Map(len(states), opts.Workers, func(i int) expansion {
 			st := states[i]
 			dif := usage - st.Size()
 			if dif < 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/mctree"
+	"repro/internal/par"
 	"repro/internal/topology"
 )
 
@@ -129,7 +130,7 @@ func (st *structuredState) step(c *Context, cur Plan, maxCost int) []topology.Ta
 			seeds = append(seeds, seed{ui: ui, seg: seg})
 		}
 	}
-	built := parallelMap(len(seeds), st.workers, func(i int) *candidate {
+	built := par.Map(len(seeds), st.workers, func(i int) *candidate {
 		ui, seg := seeds[i].ui, seeds[i].seg
 		if seg.NonReplicated(cur.Vector()) == 0 {
 			return nil // segment already fully replicated

@@ -22,14 +22,24 @@ func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 // Timer is a handle to a scheduled event, usable to cancel it.
 type Timer struct {
 	cancelled bool
+	clock     *Clock
+	event     *event
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
+// Cancel prevents the event from firing and removes it from the event
+// heap immediately, so cancelled events neither linger in the queue nor
+// retain their callbacks. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t != nil {
-		t.cancelled = true
+	if t == nil || t.cancelled {
+		return
 	}
+	t.cancelled = true
+	if t.event != nil && t.event.index >= 0 {
+		heap.Remove(&t.clock.heap, t.event.index)
+	}
+	t.event = nil
+	t.clock = nil
 }
 
 type event struct {
@@ -37,6 +47,7 @@ type event struct {
 	seq   uint64
 	fn    func()
 	timer *Timer
+	index int // position in the heap; -1 once popped
 }
 
 type eventHeap []*event
@@ -48,13 +59,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.index = -1
 	*h = old[:n-1]
 	return e
 }
@@ -80,9 +100,11 @@ func (c *Clock) At(t Time, fn func()) *Timer {
 	if t < c.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
 	}
-	timer := &Timer{}
+	timer := &Timer{clock: c}
 	c.seq++
-	heap.Push(&c.heap, &event{at: t, seq: c.seq, fn: fn, timer: timer})
+	e := &event{at: t, seq: c.seq, fn: fn, timer: timer}
+	timer.event = e
+	heap.Push(&c.heap, e)
 	return timer
 }
 
@@ -94,8 +116,8 @@ func (c *Clock) After(d Time, fn func()) *Timer {
 	return c.At(c.now+d, fn)
 }
 
-// Pending returns the number of events still queued (including
-// cancelled ones not yet drained).
+// Pending returns the number of events still queued. Cancelled events
+// are removed from the queue eagerly and never counted.
 func (c *Clock) Pending() int { return len(c.heap) }
 
 // Step fires the next event, advancing the clock, and reports whether
@@ -104,8 +126,9 @@ func (c *Clock) Step() bool {
 	for len(c.heap) > 0 {
 		e := heap.Pop(&c.heap).(*event)
 		if e.timer.cancelled {
-			continue
+			continue // defensive: Cancel removes events eagerly
 		}
+		e.timer.event = nil
 		c.now = e.at
 		e.fn()
 		return true
@@ -142,11 +165,7 @@ func (c *Clock) RunUntil(deadline Time) {
 }
 
 func (c *Clock) peek() *event {
-	for len(c.heap) > 0 {
-		if c.heap[0].timer.cancelled {
-			heap.Pop(&c.heap)
-			continue
-		}
+	if len(c.heap) > 0 {
 		return c.heap[0]
 	}
 	return nil

@@ -141,3 +141,68 @@ func TestTimeFormatting(t *testing.T) {
 		t.Errorf("Millis = %v", Time(2).Millis())
 	}
 }
+
+// TestCancelRemovesFromHeap pins the eager-removal behaviour: a
+// cancelled timer leaves the event heap immediately instead of
+// lingering until popped, so Pending reflects live events only and a
+// cancelled timer can never fire.
+func TestCancelRemovesFromHeap(t *testing.T) {
+	c := NewClock()
+	var fired []int
+	t1 := c.At(1, func() { fired = append(fired, 1) })
+	c.At(2, func() { fired = append(fired, 2) })
+	t3 := c.At(3, func() { fired = append(fired, 3) })
+	if c.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", c.Pending())
+	}
+	// Cancel the head and a middle element: both leave the heap now.
+	t1.Cancel()
+	t3.Cancel()
+	if c.Pending() != 1 {
+		t.Fatalf("Pending after cancels = %d, want 1", c.Pending())
+	}
+	// Double-cancel is a no-op.
+	t3.Cancel()
+	c.Run(100)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want only event 2", fired)
+	}
+	if c.Now() != 2 {
+		t.Fatalf("Now = %v; cancelled events must not advance the clock", c.Now())
+	}
+}
+
+// TestCancelDuringDrain cancels a pending timer from inside an earlier
+// event and checks RunUntil never fires it.
+func TestCancelDuringDrain(t *testing.T) {
+	c := NewClock()
+	fired := false
+	victim := c.At(2, func() { fired = true })
+	c.At(1, func() { victim.Cancel() })
+	c.RunUntil(10)
+	if fired {
+		t.Fatal("timer cancelled mid-drain still fired")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", c.Pending())
+	}
+	// Cancelling after the drain (timer long gone) stays a no-op.
+	victim.Cancel()
+}
+
+// TestCancelAfterFire verifies cancelling an already-fired timer does
+// not disturb the remaining schedule.
+func TestCancelAfterFire(t *testing.T) {
+	c := NewClock()
+	var fired []int
+	t1 := c.At(1, func() { fired = append(fired, 1) })
+	c.At(2, func() { fired = append(fired, 2) })
+	if !c.Step() {
+		t.Fatal("no first event")
+	}
+	t1.Cancel() // already fired: no-op
+	c.Run(10)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want both events", fired)
+	}
+}

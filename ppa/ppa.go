@@ -25,6 +25,7 @@
 package ppa
 
 import (
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -178,7 +179,8 @@ func PlanDiff(old, new Plan) (activate, deactivate []TaskID) {
 
 // --- Cluster ---
 
-// Cluster models processing and standby nodes with task placement.
+// Cluster models processing and standby nodes with task placement and
+// a hierarchical failure-domain tree (node -> rack -> zone).
 type Cluster = cluster.Cluster
 
 // NodeID identifies a cluster node.
@@ -188,6 +190,24 @@ type NodeID = cluster.NodeID
 func NewCluster(processing, standby int) *Cluster {
 	return cluster.New(processing, standby)
 }
+
+// DomainID identifies a failure domain; RootDomain is the cluster
+// itself.
+type DomainID = cluster.DomainID
+
+// Domain is one failure domain of the cluster's domain tree.
+type Domain = cluster.Domain
+
+// RootDomain is the implicit whole-cluster failure domain.
+const RootDomain = cluster.RootDomain
+
+// DomainLayout describes a regular zones × racks failure-domain
+// hierarchy for Cluster.BuildDomains.
+type DomainLayout = cluster.Layout
+
+// DefaultDomainLayout is a 2-zone, 2-racks-per-zone layout with standby
+// nodes spread across the racks.
+func DefaultDomainLayout() DomainLayout { return cluster.DefaultLayout() }
 
 // --- Engine ---
 
@@ -262,6 +282,75 @@ func NewCountSourceFactory(perBatch int) SourceFactory {
 
 // NewPassthroughFactory builds a stateless forwarding operator.
 func NewPassthroughFactory() OperatorFactory { return engine.NewPassthroughFactory() }
+
+// --- Failure campaigns ---
+
+// BurstModel is the shape of one randomized correlated failure
+// (single node, k-of-rack, whole domain, cascading multi-domain).
+type BurstModel = campaign.Model
+
+// Burst models of the Monte-Carlo failure campaigns.
+const (
+	BurstSingleNode  = campaign.SingleNode
+	BurstKOfRack     = campaign.KOfRack
+	BurstWholeDomain = campaign.WholeDomain
+	BurstCascade     = campaign.Cascade
+)
+
+// BurstModels lists every burst model.
+func BurstModels() []BurstModel { return campaign.Models }
+
+// FailureWave is one instant of a scenario: nodes failing together.
+type FailureWave = campaign.Wave
+
+// FailureScenario is one reproducible multi-wave failure scenario.
+type FailureScenario = campaign.Scenario
+
+// ScenarioSpec controls scenario generation (seed, count, burst model,
+// correlation strength, injection time).
+type ScenarioSpec = campaign.GenSpec
+
+// GenerateScenarios draws seeded failure scenarios against the
+// cluster's failure-domain tree.
+func GenerateScenarios(c *Cluster, spec ScenarioSpec) ([]FailureScenario, error) {
+	return campaign.Generate(c, spec)
+}
+
+// CampaignConfig describes a Monte-Carlo failure campaign.
+type CampaignConfig = campaign.Config
+
+// CampaignReport is the outcome of a campaign: per-scenario results
+// plus aggregated recovery-latency and output-loss distributions.
+type CampaignReport = campaign.Report
+
+// CampaignSummary aggregates a campaign (mean/p50/p95/p99).
+type CampaignSummary = campaign.Summary
+
+// Distribution summarises one sample distribution.
+type Distribution = campaign.Dist
+
+// RunCampaign executes every scenario as an independent simulation on a
+// worker pool; for a fixed seed the report is identical regardless of
+// the worker count.
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.Run(cfg) }
+
+// CampaignEnvSpec describes a reusable campaign environment (topology,
+// planner, cluster sizing, domain layout).
+type CampaignEnvSpec = campaign.EnvSpec
+
+// CampaignEnv is a reusable campaign environment; its Setup method is
+// the CampaignConfig.Setup factory.
+type CampaignEnv = campaign.Env
+
+// NewCampaignEnv validates the spec, computes the replication plan and
+// fixes the cluster dimensions and domain layout.
+func NewCampaignEnv(spec CampaignEnvSpec) (*CampaignEnv, error) { return campaign.NewEnv(spec) }
+
+// PresetTopology generates a named random-topology preset ("small",
+// "medium", "large") for campaigns.
+func PresetTopology(name string, seed int64) (*Topology, error) {
+	return campaign.PresetTopology(name, seed)
+}
 
 // --- Random topologies ---
 

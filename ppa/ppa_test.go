@@ -145,3 +145,47 @@ func TestRandomGeneration(t *testing.T) {
 		t.Errorf("ops = %d", topo.NumOps())
 	}
 }
+
+// TestCampaignEndToEnd drives the public failure-campaign surface: a
+// preset topology, a domain-structured environment, seeded scenarios
+// and a deterministic parallel campaign.
+func TestCampaignEndToEnd(t *testing.T) {
+	topo, err := ppa.PresetTopology("small", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := ppa.NewCampaignEnv(ppa.CampaignEnvSpec{Topo: topo, Planner: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clus.DomainsOfKind("rack")) == 0 {
+		t.Fatal("campaign cluster has no rack domains")
+	}
+	scenarios, err := ppa.GenerateScenarios(clus, ppa.ScenarioSpec{
+		Seed:        3,
+		Scenarios:   6,
+		Model:       ppa.BurstWholeDomain,
+		Correlation: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ppa.RunCampaign(ppa.CampaignConfig{
+		Setup:     env.Setup,
+		Scenarios: scenarios,
+		Horizon:   120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Scenarios != 6 || rep.Summary.Unrecovered > 0 {
+		t.Fatalf("summary = %+v", rep.Summary)
+	}
+	if rep.Summary.Latency.P95 < rep.Summary.Latency.P50 {
+		t.Errorf("p95 < p50: %+v", rep.Summary.Latency)
+	}
+}
