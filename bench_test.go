@@ -10,6 +10,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/plan"
 	"repro/internal/randtopo"
@@ -294,6 +295,53 @@ func BenchmarkMemoizedObjective(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCorrObjective measures the correlation-aware planning
+// objective: a domain-correlated failure distribution is sampled from
+// the standard campaign cluster for the medium topology, and each
+// iteration runs a cold sa-corr plan (seed plan + hill-climbing under
+// the expected-OF objective, memoized per task-set). The reported
+// "corr_of" is the expected OF of the returned plan — the headline
+// quality number of the *-corr planner family.
+func BenchmarkCorrObjective(b *testing.B) {
+	topo := benchTopology(b, 5, 10, 1, 10)
+	env, err := campaign.NewEnv(campaign.EnvSpec{Topo: topo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clus, err := env.Cluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets, err := campaign.SampleTaskScenarios(clus, campaign.GenSpec{
+		Seed:        1,
+		Scenarios:   32,
+		Correlation: campaign.DefaultCorrelation,
+	}, campaign.Models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios, err := plan.NewScenarioSet(topo.NumTasks(), sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := 2 * topo.NumTasks() / 5
+	pl := plan.MustLookup("sa-corr")
+	for i := 0; i < b.N; i++ {
+		ctx := plan.NewContext(topo)
+		if err := ctx.SetScenarios(scenarios); err != nil {
+			b.Fatal(err)
+		}
+		p, err := pl.Plan(ctx, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(ctx.CorrObjective(p), "corr_of")
+			b.ReportMetric(float64(scenarios.Len()), "distinct_scenarios")
+		}
 	}
 }
 

@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array of benchmark records: name, iterations,
+// ns/op, B/op, allocs/op and any custom metrics (the figure drivers
+// report values like "of" or "latency s" via b.ReportMetric). CI pipes
+// the bench-smoke run through it to publish a BENCH_<sha>.json artifact,
+// giving the repo a machine-readable perf trajectory across commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH_abc123.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	records, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   12  3456 ns/op  78 B/op  9 allocs/op  0.95 of
+//
+// Non-benchmark lines (package headers, PASS/ok, skips) are ignored.
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	records := []Record{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX --- SKIP"
+		}
+		r := Record{Name: trimProcSuffix(fields[0]), Iterations: iters}
+		// The remainder is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		records = append(records, r)
+	}
+	return records, sc.Err()
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix Go appends to benchmark
+// names, so records compare across machines with different core counts.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

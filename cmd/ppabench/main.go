@@ -76,7 +76,7 @@ func main() {
 		{"14c", one(func() (experiments.Result, error) { return experiments.Fig14c(*n) })},
 		{"14d", one(func() (experiments.Result, error) { return experiments.Fig14d(*n) })},
 		{"domains", one(func() (experiments.Result, error) {
-			return experiments.DomainSweep([]string{"sa", "greedy"}, *n, 1)
+			return experiments.DomainSweep([]string{"sa", "sa-corr"}, nil, *n, 1)
 		})},
 	}
 

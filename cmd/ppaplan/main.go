@@ -5,11 +5,20 @@
 // registry can be selected by name, including the portfolio
 // meta-planner that races all of them.
 //
+// The *-corr planners (dp-corr, structured-corr, sa-corr) optimise the
+// expected OF under a domain-correlated failure distribution instead of
+// the worst-case single burst. ppaplan samples that distribution from
+// the standard campaign cluster layout for the topology (all burst
+// models, -corr-scenarios draws each, seeded by -corr-seed) before
+// planning, and reports the expected OF alongside the worst-case
+// metrics.
+//
 // Usage:
 //
 //	ppaplan -topology topo.json -planner sa -fraction 0.5
 //	topogen -seed 7 | ppaplan -planner greedy -budget 10
 //	topogen -seed 7 | ppaplan -planner portfolio
+//	topogen -seed 7 | ppaplan -planner sa-corr -corr-scenarios 64
 //	ppaplan -list
 package main
 
@@ -19,7 +28,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/topology"
 )
 
@@ -30,6 +41,8 @@ func main() {
 		algName  = flag.String("algorithm", "", "deprecated alias of -planner")
 		budget   = flag.Int("budget", -1, "replication budget in tasks (overrides -fraction)")
 		fraction = flag.Float64("fraction", 0.5, "replication budget as a fraction of the task count")
+		corrScen = flag.Int("corr-scenarios", 24, "scenarios sampled per burst model for the *-corr planners")
+		corrSeed = flag.Int64("corr-seed", 1, "seed of the correlation-distribution sampling")
 		list     = flag.Bool("list", false, "list the registered planners and exit")
 	)
 	flag.Parse()
@@ -68,6 +81,12 @@ func main() {
 	}
 
 	mgr := core.NewManager(topo)
+	corr := strings.HasSuffix(name, "-corr")
+	if corr {
+		if err := installCorrDistribution(mgr, topo, *corrScen, *corrSeed); err != nil {
+			fatal(err)
+		}
+	}
 	b := *budget
 	if b < 0 {
 		b = mgr.BudgetForFraction(*fraction)
@@ -82,11 +101,42 @@ func main() {
 	fmt.Printf("plan size: %d tasks\n", res.Plan.Size())
 	fmt.Printf("predicted OF: %.4f\n", res.OF)
 	fmt.Printf("predicted IC: %.4f\n", res.IC)
+	if corr {
+		fmt.Printf("expected OF under correlated bursts: %.4f\n", res.CorrOF)
+	}
 	fmt.Println("replicated tasks:")
 	for _, id := range res.Plan.Tasks() {
 		task := topo.Tasks[id]
 		fmt.Printf("  task %3d = %s[%d]\n", id, topo.Ops[task.Op].Name, task.Index)
 	}
+}
+
+// installCorrDistribution samples a domain-correlated task-failure
+// distribution for the topology — the standard campaign cluster layout
+// with round-robin primary placement, all burst models — and installs
+// it on the manager's planning context.
+func installCorrDistribution(mgr *core.Manager, topo *topology.Topology, scenarios int, seed int64) error {
+	env, err := campaign.NewEnv(campaign.EnvSpec{Topo: topo})
+	if err != nil {
+		return err
+	}
+	c, err := env.Cluster()
+	if err != nil {
+		return err
+	}
+	sets, err := campaign.SampleTaskScenarios(c, campaign.GenSpec{
+		Seed:        seed,
+		Scenarios:   scenarios,
+		Correlation: campaign.DefaultCorrelation,
+	}, campaign.Models)
+	if err != nil {
+		return err
+	}
+	set, err := plan.NewScenarioSet(topo.NumTasks(), sets)
+	if err != nil {
+		return err
+	}
+	return mgr.SetScenarios(set)
 }
 
 func fatal(err error) {

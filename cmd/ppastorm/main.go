@@ -9,6 +9,12 @@
 //	ppastorm -scenarios 1000 -planners sa,greedy
 //	ppastorm -topos small,medium,large -models domain,cascade -format csv
 //	ppastorm -scenarios 200 -correlation 0.8 -format json -o sweep.json
+//	ppastorm -placement anti-affinity,round-robin -planners sa,sa-corr
+//
+// Sweeping -placement and the *-corr planners prints a head-to-head
+// table: domain-blind round-robin replica placement vs rack
+// anti-affinity, and the worst-case objective vs the correlation-aware
+// one.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/sim"
 )
 
@@ -31,6 +38,7 @@ import (
 type row struct {
 	Topology    string        `json:"topology"`
 	Planner     string        `json:"planner"`
+	Placement   string        `json:"placement"`
 	Model       string        `json:"model"`
 	Scenarios   int           `json:"scenarios"`
 	Unrecovered int           `json:"unrecovered"`
@@ -46,6 +54,7 @@ func main() {
 		topos       = flag.String("topos", "medium", "comma-separated topology presets: small, medium, large")
 		topoSeed    = flag.Int64("topo-seed", 1, "random-topology generation seed")
 		planners    = flag.String("planners", "sa,greedy", "comma-separated plan-registry planners; \"none\" = checkpoint only")
+		placements  = flag.String("placement", "anti-affinity", "comma-separated replica placement policies: anti-affinity, round-robin")
 		fraction    = flag.Float64("fraction", 0.3, "actively replicated fraction of tasks")
 		models      = flag.String("models", "single,k-of-rack,domain,cascade", "comma-separated burst models")
 		scenarios   = flag.Int("scenarios", 1000, "scenarios per sweep cell")
@@ -76,6 +85,14 @@ func main() {
 		}
 		modelList = append(modelList, m)
 	}
+	var placementList []cluster.PlacementPolicy
+	for _, s := range splitList(*placements) {
+		p, err := cluster.ParsePlacementPolicy(s)
+		if err != nil {
+			fatal(err)
+		}
+		placementList = append(placementList, p)
+	}
 
 	var rows []row
 	for _, topoName := range splitList(*topos) {
@@ -88,6 +105,11 @@ func main() {
 			if planner == "none" {
 				planner = ""
 			}
+			// One env per planner: the replication plan is independent
+			// of replica placement, so the placement sweep reuses it
+			// via SetupFor instead of re-planning per policy. The
+			// failure-free baseline is likewise placement-independent
+			// and shared across placements and models.
 			env, err := campaign.NewEnv(campaign.EnvSpec{
 				Topo:     topo,
 				Planner:  planner,
@@ -100,42 +122,45 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			baseline := 0 // shared across models for this planner x topology
-			for _, model := range modelList {
-				scs, err := campaign.Generate(sample, campaign.GenSpec{
-					Seed:        *seed,
-					Scenarios:   *scenarios,
-					Model:       model,
-					FailAt:      sim.Time(*failAt),
-					Correlation: *correlation,
-				})
-				if err != nil {
-					fatal(err)
+			baseline := 0
+			for _, placement := range placementList {
+				for _, model := range modelList {
+					scs, err := campaign.Generate(sample, campaign.GenSpec{
+						Seed:        *seed,
+						Scenarios:   *scenarios,
+						Model:       model,
+						FailAt:      campaign.Ptr(sim.Time(*failAt)),
+						Correlation: *correlation,
+					})
+					if err != nil {
+						fatal(err)
+					}
+					start := time.Now()
+					rep, err := campaign.Run(campaign.Config{
+						Setup:     env.SetupFor(placement),
+						Scenarios: scs,
+						Horizon:   sim.Time(*horizon),
+						Workers:   *workers,
+						Baseline:  baseline,
+					})
+					if err != nil {
+						fatal(err)
+					}
+					baseline = rep.BaselineSinkTuples
+					rows = append(rows, row{
+						Topology:    topoName,
+						Planner:     name,
+						Placement:   placement.String(),
+						Model:       model.String(),
+						Scenarios:   rep.Summary.Scenarios,
+						Unrecovered: rep.Summary.Unrecovered,
+						Latency:     rep.Summary.Latency,
+						Loss:        rep.Summary.Loss,
+						FailedTasks: rep.Summary.FailedTasks,
+						Baseline:    rep.BaselineSinkTuples,
+						Wall:        time.Since(start).Seconds(),
+					})
 				}
-				start := time.Now()
-				rep, err := campaign.Run(campaign.Config{
-					Setup:     env.Setup,
-					Scenarios: scs,
-					Horizon:   sim.Time(*horizon),
-					Workers:   *workers,
-					Baseline:  baseline,
-				})
-				if err != nil {
-					fatal(err)
-				}
-				baseline = rep.BaselineSinkTuples
-				rows = append(rows, row{
-					Topology:    topoName,
-					Planner:     name,
-					Model:       model.String(),
-					Scenarios:   rep.Summary.Scenarios,
-					Unrecovered: rep.Summary.Unrecovered,
-					Latency:     rep.Summary.Latency,
-					Loss:        rep.Summary.Loss,
-					FailedTasks: rep.Summary.FailedTasks,
-					Baseline:    rep.BaselineSinkTuples,
-					Wall:        time.Since(start).Seconds(),
-				})
 			}
 		}
 	}
@@ -174,7 +199,7 @@ func splitList(s string) []string {
 }
 
 var csvHeader = []string{
-	"topology", "planner", "model", "scenarios", "unrecovered",
+	"topology", "planner", "placement", "model", "scenarios", "unrecovered",
 	"latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_p99_s", "latency_max_s",
 	"loss_mean", "loss_p95", "failed_tasks_mean", "failed_tasks_max",
 	"baseline_sink_tuples", "wall_seconds",
@@ -188,7 +213,7 @@ func writeCSV(w io.Writer, rows []row) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 	for _, r := range rows {
 		rec := []string{
-			r.Topology, r.Planner, r.Model,
+			r.Topology, r.Planner, r.Placement, r.Model,
 			strconv.Itoa(r.Scenarios), strconv.Itoa(r.Unrecovered),
 			f(r.Latency.Mean), f(r.Latency.P50), f(r.Latency.P95), f(r.Latency.P99), f(r.Latency.Max),
 			f(r.Loss.Mean), f(r.Loss.P95), f(r.FailedTasks.Mean), f(r.FailedTasks.Max),
@@ -203,14 +228,65 @@ func writeCSV(w io.Writer, rows []row) error {
 }
 
 func writeTable(w io.Writer, rows []row) {
-	fmt.Fprintf(w, "%-8s %-10s %-10s %6s %6s | %8s %8s %8s %8s | %8s %6s\n",
-		"topo", "planner", "model", "scen", "unrec",
-		"mean_s", "p50_s", "p95_s", "p99_s", "loss", "tasks")
+	fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6s %6s | %8s %8s %8s %8s | %8s %8s %6s\n",
+		"topo", "planner", "placement", "model", "scen", "unrec",
+		"mean_s", "p50_s", "p95_s", "p99_s", "loss", "loss_p95", "tasks")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-10s %-10s %6d %6d | %8.2f %8.2f %8.2f %8.2f | %8.4f %6.1f\n",
-			r.Topology, r.Planner, r.Model, r.Scenarios, r.Unrecovered,
+		fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6d %6d | %8.2f %8.2f %8.2f %8.2f | %8.4f %8.4f %6.1f\n",
+			r.Topology, r.Planner, r.Placement, r.Model, r.Scenarios, r.Unrecovered,
 			r.Latency.Mean, r.Latency.P50, r.Latency.P95, r.Latency.P99,
-			r.Loss.Mean, r.FailedTasks.Mean)
+			r.Loss.Mean, r.Loss.P95, r.FailedTasks.Mean)
+	}
+	writeHeadToHead(w, rows)
+}
+
+// writeHeadToHead appends the placement comparison: for every (topology,
+// planner, model) cell that was swept under both anti-affinity and
+// round-robin placement, the p95 output loss of the two policies side by
+// side with the relative change. This is the headline number of the
+// placement fix — a domain burst that kills a co-located replica under
+// round-robin leaves an out-of-rack replica alive under anti-affinity.
+func writeHeadToHead(w io.Writer, rows []row) {
+	type cell struct{ topo, planner, model string }
+	aa := map[cell]row{}
+	rr := map[cell]row{}
+	var order []cell
+	for _, r := range rows {
+		k := cell{r.Topology, r.Planner, r.Model}
+		switch r.Placement {
+		case "anti-affinity":
+			if _, dup := aa[k]; !dup {
+				aa[k] = r
+				if _, other := rr[k]; !other {
+					order = append(order, k)
+				}
+			}
+		case "round-robin":
+			if _, dup := rr[k]; !dup {
+				rr[k] = r
+				if _, other := aa[k]; !other {
+					order = append(order, k)
+				}
+			}
+		}
+	}
+	printed := false
+	for _, k := range order {
+		a, okA := aa[k]
+		b, okB := rr[k]
+		if !okA || !okB {
+			continue
+		}
+		if !printed {
+			fmt.Fprintf(w, "\nhead-to-head p95 output loss (anti-affinity vs round-robin):\n")
+			printed = true
+		}
+		delta := "n/a"
+		if b.Loss.P95 > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(a.Loss.P95-b.Loss.P95)/b.Loss.P95)
+		}
+		fmt.Fprintf(w, "  %-8s %-14s %-10s  %8.4f vs %8.4f  (%s)\n",
+			k.topo, k.planner, k.model, a.Loss.P95, b.Loss.P95, delta)
 	}
 }
 

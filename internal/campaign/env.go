@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
@@ -19,11 +20,28 @@ type EnvSpec struct {
 	// Topo is the query topology (required).
 	Topo *topology.Topology
 	// Planner is a plan-registry name ("sa", "greedy", "dp", ...); ""
-	// disables active replication (pure checkpoint recovery).
+	// disables active replication (pure checkpoint recovery). The
+	// *-corr variants plan against a domain-correlated failure
+	// distribution sampled from this environment's own cluster layout
+	// (see CorrScenarios).
 	Planner string
 	// Fraction is the actively replicated fraction of tasks for Planner
 	// (default 0.3).
 	Fraction float64
+	// Placement selects how active replicas are placed on standby
+	// nodes; the zero value is cluster.PlacementAntiAffinity (a replica
+	// never shares its primary's rack). cluster.PlacementRoundRobin
+	// reproduces the legacy domain-blind placement for comparison
+	// sweeps.
+	Placement cluster.PlacementPolicy
+	// CorrScenarios is the number of scenarios sampled per burst model
+	// for the correlation-aware planning objective (default 24; the
+	// sampled sets are deduplicated, so cost grows with distinct
+	// bursts, not the count). CorrSeed seeds the sampling (default 1).
+	// The distribution is sampled and installed only for *-corr
+	// planners (name suffix "-corr") — no other planner reads it.
+	CorrScenarios int
+	CorrSeed      int64
 	// TasksPerNode controls cluster sizing (default 2 primary tasks per
 	// processing node).
 	TasksPerNode int
@@ -114,8 +132,14 @@ func NewEnv(spec EnvSpec) (*Env, error) {
 		if !ok {
 			return nil, fmt.Errorf("campaign: unknown planner %q (registered: %v)", spec.Planner, plan.Names())
 		}
+		ctx := plan.NewContext(spec.Topo)
+		if strings.HasSuffix(spec.Planner, "-corr") {
+			if err := env.installCorrDistribution(ctx); err != nil {
+				return nil, err
+			}
+		}
 		budget := int(math.Round(spec.Fraction * float64(n)))
-		p, err := pl.Plan(plan.NewContext(spec.Topo), budget)
+		p, err := pl.Plan(ctx, budget)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: %s planning: %w", spec.Planner, err)
 		}
@@ -124,6 +148,39 @@ func NewEnv(spec EnvSpec) (*Env, error) {
 		}
 	}
 	return env, nil
+}
+
+// installCorrDistribution samples the environment's domain-correlated
+// failure distribution (all burst models against the environment's own
+// cluster layout and primary placement) and installs it on the planning
+// context, so *-corr planners optimise the failures this environment
+// will actually inject.
+func (env *Env) installCorrDistribution(ctx *plan.Context) error {
+	scenarios := env.spec.CorrScenarios
+	if scenarios <= 0 {
+		scenarios = 24
+	}
+	seed := env.spec.CorrSeed
+	if seed == 0 {
+		seed = 1
+	}
+	c, err := env.Cluster()
+	if err != nil {
+		return err
+	}
+	sets, err := SampleTaskScenarios(c, GenSpec{
+		Seed:        seed,
+		Scenarios:   scenarios,
+		Correlation: DefaultCorrelation,
+	}, Models)
+	if err != nil {
+		return fmt.Errorf("campaign: sampling correlation distribution: %w", err)
+	}
+	set, err := plan.NewScenarioSet(env.spec.Topo.NumTasks(), sets)
+	if err != nil {
+		return err
+	}
+	return ctx.SetScenarios(set)
 }
 
 // Cluster builds a fresh domain-structured cluster with the environment
@@ -140,8 +197,21 @@ func (env *Env) Cluster() (*cluster.Cluster, error) {
 	return c, nil
 }
 
-// Setup implements Config.Setup: a fresh engine setup per simulation.
+// Setup implements Config.Setup: a fresh engine setup per simulation,
+// using the spec's replica placement policy.
 func (env *Env) Setup() (engine.Setup, error) {
+	return env.setup(env.spec.Placement)
+}
+
+// SetupFor returns a Config.Setup factory with the replica placement
+// policy overridden. The replication plan depends only on the topology
+// and planner, never on replica placement, so one Env can serve a
+// placement sweep without re-planning per policy.
+func (env *Env) SetupFor(placement cluster.PlacementPolicy) func() (engine.Setup, error) {
+	return func() (engine.Setup, error) { return env.setup(placement) }
+}
+
+func (env *Env) setup(placement cluster.PlacementPolicy) (engine.Setup, error) {
 	c, err := env.Cluster()
 	if err != nil {
 		return engine.Setup{}, err
@@ -158,6 +228,7 @@ func (env *Env) Setup() (engine.Setup, error) {
 		Sources:    env.sources,
 		Operators:  env.operators,
 		Strategies: append([]engine.Strategy(nil), env.strategies...),
+		Placement:  placement,
 	}, nil
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // Model is a burst model: the shape of one randomized correlated
@@ -90,8 +91,12 @@ type Scenario struct {
 }
 
 // GenSpec controls scenario generation. The zero value is not valid;
-// fill at least Scenarios and use withDefaults-documented defaults for
-// the rest.
+// fill at least Scenarios. The optional timing fields are pointers so
+// that an explicit zero is distinguishable from "use the default": a
+// nil field selects the documented default, while Ptr(0) is honoured
+// verbatim (no jitter, injection at the start of the run, simultaneous
+// cascade waves) — the same explicit-zero contract Correlation has
+// always had.
 type GenSpec struct {
 	// Seed drives all randomness. Scenario i depends only on Seed+i, so
 	// campaigns are reproducible and individual scenarios can be replayed
@@ -101,33 +106,48 @@ type GenSpec struct {
 	Scenarios int
 	// Model selects the burst shape.
 	Model Model
-	// FailAt is the base injection time (default 30.5 virtual seconds);
-	// each scenario jitters it by up to JitterS.
-	FailAt sim.Time
-	// JitterS is the injection-time jitter in seconds (default 1) —
-	// avoids phase-locking failures with checkpoint timers.
-	JitterS float64
+	// FailAt is the base injection time; nil selects the default 30.5
+	// virtual seconds. Each scenario jitters it by up to JitterS.
+	FailAt *sim.Time
+	// JitterS is the injection-time jitter in seconds; nil selects the
+	// default 1 (avoids phase-locking failures with checkpoint timers),
+	// Ptr(0.0) disables jitter.
+	JitterS *float64
 	// Correlation in [0,1] is the correlation strength: the probability
 	// that a node (KOfRack) or sibling rack (Cascade) joins the burst.
 	// Zero is honoured as fully uncorrelated (one node / one rack);
 	// DefaultCorrelation is a reasonable sweep baseline.
 	Correlation float64
-	// CascadeLag is the delay between successive Cascade waves
-	// (default 2s).
-	CascadeLag sim.Time
+	// CascadeLag is the delay between successive Cascade waves; nil
+	// selects the default 2s, Ptr(sim.Time(0)) makes the waves
+	// simultaneous.
+	CascadeLag *sim.Time
 }
 
-func (s GenSpec) withDefaults() GenSpec {
-	if s.FailAt == 0 {
-		s.FailAt = 30.5
+// Ptr returns a pointer to v — shorthand for GenSpec's explicit
+// optional fields, e.g. GenSpec{JitterS: campaign.Ptr(0.0)}.
+func Ptr[T any](v T) *T { return &v }
+
+// genParams is GenSpec with the optional fields resolved to concrete
+// values.
+type genParams struct {
+	failAt  sim.Time
+	jitterS float64
+	lag     sim.Time
+}
+
+func (s GenSpec) resolve() genParams {
+	p := genParams{failAt: 30.5, jitterS: 1, lag: 2}
+	if s.FailAt != nil {
+		p.failAt = *s.FailAt
 	}
-	if s.JitterS == 0 {
-		s.JitterS = 1
+	if s.JitterS != nil {
+		p.jitterS = *s.JitterS
 	}
-	if s.CascadeLag == 0 {
-		s.CascadeLag = 2
+	if s.CascadeLag != nil {
+		p.lag = *s.CascadeLag
 	}
-	return s
+	return p
 }
 
 // Generate draws spec.Scenarios scenarios against the cluster's
@@ -137,7 +157,7 @@ func (s GenSpec) withDefaults() GenSpec {
 // WholeDomain and Cascade require the cluster to have rack domains
 // (cluster.BuildDomains).
 func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
-	spec = spec.withDefaults()
+	params := spec.resolve()
 	if spec.Scenarios <= 0 {
 		return nil, fmt.Errorf("campaign: need a positive scenario count, got %d", spec.Scenarios)
 	}
@@ -164,7 +184,7 @@ func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
 	for i := range out {
 		// Per-scenario RNG: scenario i is a pure function of Seed+i.
 		rng := rand.New(rand.NewSource(spec.Seed + int64(i)*1_000_003))
-		at := spec.FailAt + sim.Time(rng.Float64()*spec.JitterS)
+		at := params.failAt + sim.Time(rng.Float64()*params.jitterS)
 		sc := Scenario{Index: i, Model: spec.Model}
 		switch spec.Model {
 		case SingleNode:
@@ -187,7 +207,7 @@ func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
 			sc.Label = fmt.Sprintf("rack-%d/all", rack)
 			sc.Waves = []Wave{{At: at, Nodes: nodes}}
 		case Cascade:
-			sc.Label, sc.Waves = genCascade(c, racks, zones, rng, at, spec)
+			sc.Label, sc.Waves = genCascade(c, racks, zones, rng, at, spec.Correlation, params.lag)
 		default:
 			return nil, fmt.Errorf("campaign: unknown burst model %d", spec.Model)
 		}
@@ -204,7 +224,7 @@ func pickRack(c *cluster.Cluster, racks []cluster.DomainID, rng *rand.Rand) (clu
 }
 
 // genCascade builds a rolling multi-rack burst within one zone.
-func genCascade(c *cluster.Cluster, racks []cluster.DomainID, zones []cluster.DomainID, rng *rand.Rand, at sim.Time, spec GenSpec) (string, []Wave) {
+func genCascade(c *cluster.Cluster, racks []cluster.DomainID, zones []cluster.DomainID, rng *rand.Rand, at sim.Time, correlation float64, lag sim.Time) (string, []Wave) {
 	// Group racks by zone; fall back to treating all racks as one zone.
 	var pool []cluster.DomainID
 	if len(zones) > 0 {
@@ -223,17 +243,58 @@ func genCascade(c *cluster.Cluster, racks []cluster.DomainID, zones []cluster.Do
 	var labels []string
 	for j, idx := range order {
 		rack := pool[idx]
-		if j > 0 && rng.Float64() >= spec.Correlation {
+		if j > 0 && rng.Float64() >= correlation {
 			continue
 		}
 		nodes := c.DomainNodes(rack)
 		if len(nodes) == 0 {
 			continue
 		}
-		waves = append(waves, Wave{At: at + sim.Time(len(waves))*spec.CascadeLag, Nodes: nodes})
+		waves = append(waves, Wave{At: at + sim.Time(len(waves))*lag, Nodes: nodes})
 		labels = append(labels, fmt.Sprintf("rack-%d", rack))
 	}
 	return "cascade[" + strings.Join(labels, ",") + "]", waves
+}
+
+// SampleTaskScenarios draws spec.Scenarios scenarios per burst model and
+// maps each to the set of primary tasks its waves kill under the
+// cluster's current placement — the domain-correlated task-failure
+// distribution consumed by the *-corr planners (plan.NewScenarioSet).
+// Replica hosts are deliberately ignored: the correlation-aware
+// objective assumes a replicated task survives the burst, which the
+// anti-affinity placer makes true by keeping every replica out of its
+// primary's rack. Scenarios that hit no primaries are kept; they are
+// real probability mass at OF 1.
+func SampleTaskScenarios(c *cluster.Cluster, spec GenSpec, models []Model) ([][]topology.TaskID, error) {
+	if len(models) == 0 {
+		models = Models
+	}
+	var out [][]topology.TaskID
+	for _, m := range models {
+		s := spec
+		s.Model = m
+		scs, err := Generate(c, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range scs {
+			set := map[topology.TaskID]bool{}
+			for _, w := range sc.Waves {
+				for _, n := range w.Nodes {
+					for _, id := range c.TasksOn(n) {
+						set[id] = true
+					}
+				}
+			}
+			ids := make([]topology.TaskID, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			out = append(out, ids)
+		}
+	}
+	return out, nil
 }
 
 func sortNodes(ns []cluster.NodeID) {

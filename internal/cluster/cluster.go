@@ -29,6 +29,10 @@ type Cluster struct {
 	nodes     []*Node
 	placement map[topology.TaskID]NodeID // primary task -> processing node
 	replicaOn map[topology.TaskID]NodeID // replicated task -> standby node
+	// tasksOn is the reverse placement index (node -> primary tasks),
+	// kept in sync by Place so that failure injection never rescans the
+	// whole placement map.
+	tasksOn map[NodeID][]topology.TaskID
 
 	domains    []*Domain           // failure-domain tree, root first (see domain.go)
 	nodeDomain map[NodeID]DomainID // node -> directly attached domain
@@ -40,6 +44,7 @@ func New(processing, standby int) *Cluster {
 	c := &Cluster{
 		placement: make(map[topology.TaskID]NodeID),
 		replicaOn: make(map[topology.TaskID]NodeID),
+		tasksOn:   make(map[NodeID][]topology.TaskID),
 	}
 	for i := 0; i < processing; i++ {
 		c.nodes = append(c.nodes, &Node{ID: NodeID(i)})
@@ -93,32 +98,55 @@ func (c *Cluster) PlaceRoundRobin(t *topology.Topology) error {
 		return fmt.Errorf("cluster: no processing nodes")
 	}
 	for i, task := range t.Tasks {
-		c.placement[task.ID] = proc[i%len(proc)].ID
+		c.Place(task.ID, proc[i%len(proc)].ID)
 	}
 	return nil
 }
 
-// Place assigns a primary task to a node.
+// Place assigns a primary task to a node, moving it off its previous
+// node if it was already placed.
 func (c *Cluster) Place(id topology.TaskID, node NodeID) {
+	if prev, ok := c.placement[id]; ok {
+		if prev == node {
+			return
+		}
+		onPrev := c.tasksOn[prev]
+		for i, t := range onPrev {
+			if t == id {
+				c.tasksOn[prev] = append(onPrev[:i], onPrev[i+1:]...)
+				break
+			}
+		}
+	}
 	c.placement[id] = node
+	c.tasksOn[node] = insertSorted(c.tasksOn[node], id)
+}
+
+// insertSorted inserts id into a sorted task slice, keeping it sorted.
+func insertSorted(ids []topology.TaskID, id topology.TaskID) []topology.TaskID {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
 }
 
 // NodeOf returns the node hosting the primary of the task.
 func (c *Cluster) NodeOf(id topology.TaskID) NodeID { return c.placement[id] }
 
+// TasksOn returns the primary tasks placed on the node, in ascending
+// task order. The returned slice must not be modified.
+func (c *Cluster) TasksOn(id NodeID) []topology.TaskID { return c.tasksOn[id] }
+
 // PlaceReplicasRoundRobin distributes active replicas of the given tasks
-// over the standby nodes.
+// over the standby nodes in task order, ignoring failure domains.
+//
+// Deprecated: this is a compatibility wrapper around
+// PlaceReplicas(tasks, PlacementRoundRobin); new code should call
+// PlaceReplicas and almost always wants PlacementAntiAffinity, which
+// keeps a replica out of its primary's failure domain.
 func (c *Cluster) PlaceReplicasRoundRobin(tasks []topology.TaskID) error {
-	standby := c.StandbyNodes()
-	if len(standby) == 0 && len(tasks) > 0 {
-		return fmt.Errorf("cluster: no standby nodes for %d replicas", len(tasks))
-	}
-	sorted := append([]topology.TaskID(nil), tasks...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for i, id := range sorted {
-		c.replicaOn[id] = standby[i%len(standby)].ID
-	}
-	return nil
+	return c.PlaceReplicas(tasks, PlacementRoundRobin)
 }
 
 // ReplicaNodeOf returns the standby node hosting the task's active
@@ -129,21 +157,16 @@ func (c *Cluster) ReplicaNodeOf(id topology.TaskID) (NodeID, bool) {
 }
 
 // FailNode marks a node failed and returns the primary tasks that were
-// running on it, in ascending task order.
+// running on it, in ascending task order. The lookup uses the reverse
+// placement index, so multi-wave campaigns never rescan the placement
+// map.
 func (c *Cluster) FailNode(id NodeID) []topology.TaskID {
 	n := c.Node(id)
 	if n == nil || n.Failed {
 		return nil
 	}
 	n.Failed = true
-	var out []topology.TaskID
-	for task, node := range c.placement {
-		if node == id {
-			out = append(out, task)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]topology.TaskID(nil), c.tasksOn[id]...)
 }
 
 // FailAllProcessing marks every processing node failed — the paper's

@@ -104,6 +104,10 @@ type Result struct {
 	// IC is the worst-case Internal Completeness (the EDBT'14 baseline
 	// metric).
 	IC float64
+	// CorrOF is the expected OF under the manager's domain-correlated
+	// failure distribution (see Manager.SetScenarios); it equals OF when
+	// no distribution is installed.
+	CorrOF float64
 }
 
 // Manager plans PPA replication for one topology.
@@ -170,8 +174,14 @@ func (m *Manager) PlanByName(name string, budget int) (Result, error) {
 		Plan:      p,
 		OF:        m.ctx.OF(p),
 		IC:        m.ctx.IC(p),
+		CorrOF:    m.ctx.CorrObjective(p),
 	}, nil
 }
+
+// SetScenarios installs a domain-correlated failure distribution on the
+// manager's planning context: the *-corr planners optimise against it
+// and Result.CorrOF reports the expected OF under it.
+func (m *Manager) SetScenarios(s *plan.ScenarioSet) error { return m.ctx.SetScenarios(s) }
 
 // Planners lists the names of the registered planners.
 func Planners() []string { return plan.Names() }

@@ -21,6 +21,11 @@ type Setup struct {
 	// Strategies selects the fault-tolerance technique per task; nil
 	// means StrategyCheckpoint for every task.
 	Strategies []Strategy
+	// Placement selects how active replicas are placed on standby
+	// nodes. The zero value is cluster.PlacementAntiAffinity: a replica
+	// never shares its primary's rack, so a whole-domain burst cannot
+	// kill both copies. Replicas already placed on the cluster are kept.
+	Placement cluster.PlacementPolicy
 }
 
 // Engine executes a topology on the discrete-event kernel, implementing
@@ -57,7 +62,8 @@ type checkpointData struct {
 
 // New builds an engine. Placement must already be set on the cluster (or
 // use cluster.PlaceRoundRobin); replicas for StrategyActive tasks are
-// placed on standby nodes automatically if not placed.
+// placed on standby nodes automatically if not placed, using
+// Setup.Placement (rack anti-affinity by default).
 func New(s Setup) (*Engine, error) {
 	if s.Topology == nil {
 		return nil, fmt.Errorf("engine: no topology")
@@ -107,11 +113,13 @@ func New(s Setup) (*Engine, error) {
 		e.tasks[id] = newTaskRuntime(e, tid, false)
 		if e.strategy[id] == StrategyActive {
 			e.replicas[id] = newTaskRuntime(e, tid, true)
-			replicated = append(replicated, tid)
+			if _, ok := e.clus.ReplicaNodeOf(tid); !ok {
+				replicated = append(replicated, tid)
+			}
 		}
 	}
 	if len(replicated) > 0 {
-		if err := e.clus.PlaceReplicasRoundRobin(replicated); err != nil {
+		if err := e.clus.PlaceReplicas(replicated, s.Placement); err != nil {
 			return nil, err
 		}
 	}

@@ -4,17 +4,25 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 )
 
 // DomainSweep is the Fig. 7/8-style sweep over failure domains: for
-// each planner and each burst model, an n-scenario Monte-Carlo failure
-// campaign runs on the medium random topology (the paper's §VI-C
-// baseline spec), and the p95 worst-task recovery latency plus the mean
-// relative output loss are reported. Where Figs. 7-8 replay the paper's
-// two fixed injections (one node, all nodes), this sweep covers the
-// correlated-failure space in between: partial rack bursts, whole-domain
-// outages and cascading multi-domain failures.
-func DomainSweep(planners []string, n int, seed int64) (Result, error) {
+// each placement policy, planner and burst model, an n-scenario
+// Monte-Carlo failure campaign runs on the medium random topology (the
+// paper's §VI-C baseline spec), and the p95 worst-task recovery latency
+// plus the mean relative output loss are reported. Where Figs. 7-8
+// replay the paper's two fixed injections (one node, all nodes), this
+// sweep covers the correlated-failure space in between: partial rack
+// bursts, whole-domain outages and cascading multi-domain failures.
+// Sweeping placements × planners puts the headline comparison on one
+// chart: domain-blind round-robin replica placement vs rack
+// anti-affinity, and the worst-case planners vs the correlation-aware
+// *-corr variants. A nil placements slice sweeps both policies.
+func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int, seed int64) (Result, error) {
+	if len(placements) == 0 {
+		placements = cluster.PlacementPolicies
+	}
 	res := Result{
 		Figure: "Fig. D",
 		Title:  fmt.Sprintf("Monte-Carlo failure-domain sweep (%d scenarios/cell)", n),
@@ -26,6 +34,9 @@ func DomainSweep(planners []string, n int, seed int64) (Result, error) {
 		return Result{}, err
 	}
 	for _, planner := range planners {
+		// One env per planner: the plan (and the failure-free baseline)
+		// is independent of replica placement, so the placement sweep
+		// reuses both via SetupFor.
 		env, err := campaign.NewEnv(campaign.EnvSpec{Topo: topo, Planner: planner})
 		if err != nil {
 			return Result{}, err
@@ -34,33 +45,36 @@ func DomainSweep(planners []string, n int, seed int64) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		lat := Series{Name: planner + "-p95"}
-		loss := Series{Name: planner + "-loss"}
-		baseline := 0 // shared across burst models (same Setup, same horizon)
-		for _, model := range campaign.Models {
-			scenarios, err := campaign.Generate(sample, campaign.GenSpec{
-				Seed:        seed,
-				Scenarios:   n,
-				Model:       model,
-				Correlation: campaign.DefaultCorrelation,
-			})
-			if err != nil {
-				return Result{}, err
+		baseline := 0
+		for _, placement := range placements {
+			cell := planner + "/" + placement.String()
+			lat := Series{Name: cell + "-p95"}
+			loss := Series{Name: cell + "-loss"}
+			for _, model := range campaign.Models {
+				scenarios, err := campaign.Generate(sample, campaign.GenSpec{
+					Seed:        seed,
+					Scenarios:   n,
+					Model:       model,
+					Correlation: campaign.DefaultCorrelation,
+				})
+				if err != nil {
+					return Result{}, err
+				}
+				rep, err := campaign.Run(campaign.Config{
+					Setup:     env.SetupFor(placement),
+					Scenarios: scenarios,
+					Horizon:   150,
+					Baseline:  baseline,
+				})
+				if err != nil {
+					return Result{}, fmt.Errorf("experiments: %s/%s campaign: %w", cell, model, err)
+				}
+				baseline = rep.BaselineSinkTuples
+				lat.Points = append(lat.Points, Point{X: model.String(), Y: rep.Summary.Latency.P95})
+				loss.Points = append(loss.Points, Point{X: model.String(), Y: rep.Summary.Loss.Mean})
 			}
-			rep, err := campaign.Run(campaign.Config{
-				Setup:     env.Setup,
-				Scenarios: scenarios,
-				Horizon:   150,
-				Baseline:  baseline,
-			})
-			if err != nil {
-				return Result{}, fmt.Errorf("experiments: %s/%s campaign: %w", planner, model, err)
-			}
-			baseline = rep.BaselineSinkTuples
-			lat.Points = append(lat.Points, Point{X: model.String(), Y: rep.Summary.Latency.P95})
-			loss.Points = append(loss.Points, Point{X: model.String(), Y: rep.Summary.Loss.Mean})
+			res.Series = append(res.Series, lat, loss)
 		}
-		res.Series = append(res.Series, lat, loss)
 	}
 	return res, nil
 }

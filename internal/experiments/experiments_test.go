@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 )
 
@@ -245,11 +246,12 @@ func abs(x float64) float64 {
 var _ = engine.StrategyActive // keep the import for the technique table
 
 // TestDomainSweepShape runs a small Monte-Carlo domain sweep and checks
-// its structure: one latency and one loss series per planner, one point
-// per burst model, and the paper's qualitative expectation that bigger
-// blast radii do not recover faster than single-node failures.
+// its structure: one latency and one loss series per placement ×
+// planner cell, one point per burst model, and the paper's qualitative
+// expectation that bigger blast radii do not recover faster than
+// single-node failures.
 func TestDomainSweepShape(t *testing.T) {
-	r, err := DomainSweep([]string{"sa", "greedy"}, 6, 1)
+	r, err := DomainSweep([]string{"sa", "greedy"}, []cluster.PlacementPolicy{cluster.PlacementAntiAffinity}, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,8 +264,9 @@ func TestDomainSweepShape(t *testing.T) {
 		}
 	}
 	for _, planner := range []string{"sa", "greedy"} {
-		single := point(t, r, planner+"-p95", "single")
-		domain := point(t, r, planner+"-p95", "domain")
+		cell := planner + "/anti-affinity"
+		single := point(t, r, cell+"-p95", "single")
+		domain := point(t, r, cell+"-p95", "domain")
 		if single <= 0 || domain <= 0 {
 			t.Errorf("%s: non-positive p95 latencies (single=%v domain=%v)", planner, single, domain)
 		}

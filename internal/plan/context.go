@@ -33,6 +33,11 @@ type Context struct {
 	memo   bool
 	ofMemo map[string]float64
 	icMemo map[string]float64
+	// corr is the domain-correlated failure distribution of the
+	// correlation-aware objective; corrMemo caches CorrObjective values
+	// per plan key and is invalidated whenever corr changes.
+	corr     *ScenarioSet
+	corrMemo map[string]float64
 	// scopedMemo caches scoped objectives keyed on scope signature,
 	// metric and plan key.
 	scopedMemo map[scopedMemoKey]float64
@@ -54,6 +59,7 @@ func NewContext(t *topology.Topology) *Context {
 		memo:       true,
 		ofMemo:     map[string]float64{},
 		icMemo:     map[string]float64{},
+		corrMemo:   map[string]float64{},
 		scopedMemo: map[scopedMemoKey]float64{},
 		scopes:     map[string]*Scope{},
 	}
@@ -74,6 +80,7 @@ func (c *Context) SetMemoize(on bool) {
 	if !on {
 		c.ofMemo = map[string]float64{}
 		c.icMemo = map[string]float64{}
+		c.corrMemo = map[string]float64{}
 		c.scopedMemo = map[scopedMemoKey]float64{}
 	}
 }

@@ -56,6 +56,15 @@ func (p *Plan) Add(id topology.TaskID) {
 	}
 }
 
+// Remove unmarks a replicated task. Removing a non-replicated task is a
+// no-op.
+func (p *Plan) Remove(id topology.TaskID) {
+	if p.replicated[id] {
+		p.replicated[id] = false
+		p.size--
+	}
+}
+
 // AddAll marks every listed task as replicated.
 func (p *Plan) AddAll(ids []topology.TaskID) {
 	for _, id := range ids {
@@ -78,19 +87,11 @@ func (p Plan) Tasks() []topology.TaskID {
 // returned slice aliases the plan's storage and must not be modified.
 func (p Plan) Vector() []bool { return p.replicated }
 
-// Key returns a canonical identity of the plan's task set, used to
-// deduplicate candidate plans in the dynamic programming algorithm and
-// as the memoization key of the Context's objective caches.
-func (p Plan) Key() string {
-	// compact bitmap representation
-	b := make([]byte, (len(p.replicated)+7)/8)
-	for i, r := range p.replicated {
-		if r {
-			b[i/8] |= 1 << (i % 8)
-		}
-	}
-	return string(b)
-}
+// Key returns a canonical identity of the plan's task set (a compact
+// bitmap), used to deduplicate candidate plans in the dynamic
+// programming algorithm and as the memoization key of the Context's
+// objective caches. ScenarioSet dedup uses the same encoding (boolKey).
+func (p Plan) Key() string { return boolKey(p.replicated) }
 
 // Metric selects the quality model a planner optimises: the paper's
 // Output Fidelity, or the Internal Completeness baseline it compares

@@ -77,4 +77,10 @@ func init() {
 	Register(Full{})
 	Register(Brute{})
 	Register(Portfolio{})
+	// Correlation-aware variants: inner planner seeds, hill-climbing
+	// under the context's domain-correlated failure distribution
+	// refines (see corr.go).
+	Register(Corr{Inner: DP{}})
+	Register(Corr{Inner: Structured{}})
+	Register(Corr{Inner: SA{}})
 }

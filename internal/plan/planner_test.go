@@ -11,7 +11,7 @@ import (
 // TestRegistryLookup checks that every built-in planner is registered
 // and resolvable by name, and that the registry is consistent.
 func TestRegistryLookup(t *testing.T) {
-	want := []string{"brute", "dp", "full", "greedy", "portfolio", "sa", "sa-ic", "structured"}
+	want := []string{"brute", "dp", "dp-corr", "full", "greedy", "portfolio", "sa", "sa-corr", "sa-ic", "structured", "structured-corr"}
 	for _, name := range want {
 		p, ok := Lookup(name)
 		if !ok {

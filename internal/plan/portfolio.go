@@ -17,10 +17,12 @@ import (
 // plans probed by one planner are cache hits for the others.
 type Portfolio struct {
 	// Planners is the set to race; nil selects every registered planner
-	// in sorted name order, except portfolios themselves and the
+	// in sorted name order, except portfolios themselves, the
 	// brute-force reference (whose exponential sweep would stall the
-	// portfolio on topologies approaching its 24-task limit; race it
-	// explicitly via Planners when that is wanted).
+	// portfolio on topologies approaching its 24-task limit) and the
+	// *-corr variants (which optimise the correlation-aware objective,
+	// not the metric the portfolio ranks by); race those explicitly via
+	// Planners when that is wanted.
 	Planners []Planner
 }
 
@@ -34,7 +36,7 @@ func (pf Portfolio) Plan(c *Context, budget int) (Plan, error) {
 		for _, name := range Names() {
 			p := MustLookup(name)
 			switch p.(type) {
-			case Portfolio, Brute:
+			case Portfolio, Brute, Corr:
 				continue
 			}
 			planners = append(planners, p)

@@ -147,8 +147,32 @@ func RegisterPlanner(p Planner) { plan.Register(p) }
 func LookupPlanner(name string) (Planner, bool) { return plan.Lookup(name) }
 
 // PlannerNames lists the registered planner names ("brute", "dp",
-// "full", "greedy", "portfolio", "sa", "sa-ic", "structured", ...).
+// "dp-corr", "full", "greedy", "portfolio", "sa", "sa-corr", "sa-ic",
+// "structured", "structured-corr", ...).
 func PlannerNames() []string { return plan.Names() }
+
+// --- Correlation-aware planning ---
+
+// CorrScenarioSet is a domain-correlated failure distribution over task
+// sets: sampled sets of primary tasks failing together, deduplicated
+// with accumulated weights. It is the input of the correlation-aware
+// objective optimised by the *-corr planners.
+type CorrScenarioSet = plan.ScenarioSet
+
+// NewCorrScenarioSet builds the distribution from equally likely
+// sampled task sets for a topology with n tasks.
+func NewCorrScenarioSet(n int, sets [][]TaskID) (*CorrScenarioSet, error) {
+	return plan.NewScenarioSet(n, sets)
+}
+
+// SampleTaskScenarios draws failure scenarios per burst model against
+// the cluster's domain tree and maps each to the set of primary tasks
+// it kills — the standard way to produce a CorrScenarioSet. Install the
+// result with PlanContext.SetScenarios (or Manager.SetScenarios) before
+// running a *-corr planner.
+func SampleTaskScenarios(c *Cluster, spec ScenarioSpec, models []BurstModel) ([][]TaskID, error) {
+	return campaign.SampleTaskScenarios(c, spec, models)
+}
 
 // Manager computes PPA replication plans for one topology.
 type Manager = core.Manager
@@ -208,6 +232,28 @@ type DomainLayout = cluster.Layout
 // DefaultDomainLayout is a 2-zone, 2-racks-per-zone layout with standby
 // nodes spread across the racks.
 func DefaultDomainLayout() DomainLayout { return cluster.DefaultLayout() }
+
+// PlacementPolicy selects how active replicas are placed on the standby
+// nodes.
+type PlacementPolicy = cluster.PlacementPolicy
+
+// Replica placement policies: rack/zone anti-affinity (the default — a
+// replica never shares its primary's rack) and the legacy domain-blind
+// round-robin.
+const (
+	PlacementAntiAffinity = cluster.PlacementAntiAffinity
+	PlacementRoundRobin   = cluster.PlacementRoundRobin
+)
+
+// ParsePlacementPolicy resolves a placement policy name
+// ("anti-affinity", "round-robin").
+func ParsePlacementPolicy(s string) (PlacementPolicy, error) {
+	return cluster.ParsePlacementPolicy(s)
+}
+
+// ErrAntiAffinity is wrapped by replica placement when the standby pool
+// cannot host a replica outside its primary's rack.
+var ErrAntiAffinity = cluster.ErrAntiAffinity
 
 // --- Engine ---
 
@@ -307,8 +353,14 @@ type FailureWave = campaign.Wave
 type FailureScenario = campaign.Scenario
 
 // ScenarioSpec controls scenario generation (seed, count, burst model,
-// correlation strength, injection time).
+// correlation strength, injection time). Its optional timing fields are
+// pointers: nil selects the documented default, Ptr(0) is honoured
+// verbatim (e.g. JitterS: Ptr(0.0) disables injection-time jitter).
 type ScenarioSpec = campaign.GenSpec
+
+// Ptr returns a pointer to v — shorthand for ScenarioSpec's explicit
+// optional fields.
+func Ptr[T any](v T) *T { return campaign.Ptr(v) }
 
 // GenerateScenarios draws seeded failure scenarios against the
 // cluster's failure-domain tree.
