@@ -1,8 +1,11 @@
 // Command ppastorm runs Monte-Carlo failure campaigns: thousands of
 // seeded correlated-failure scenarios (single node, k-of-rack bursts,
 // whole-domain outages, cascading multi-domain failures) simulated in
-// parallel against PPA plans, with recovery-latency and output-loss
-// distributions aggregated per planner × topology × burst model.
+// parallel against PPA plans, with recovery-latency, output-loss and
+// answer-quality (tentative fraction, corrected fraction,
+// time-to-correction) distributions aggregated per planner × topology ×
+// burst model. -tentative=false disables the tentative/correction
+// pipeline and zeroes the quality columns.
 //
 // Usage:
 //
@@ -45,8 +48,16 @@ type row struct {
 	Latency     campaign.Dist `json:"latency_s"`
 	Loss        campaign.Dist `json:"output_loss"`
 	FailedTasks campaign.Dist `json:"failed_tasks"`
-	Baseline    int           `json:"baseline_sink_tuples"`
-	Wall        float64       `json:"wall_seconds"`
+	// Tentative and Corrected summarise the answer-quality axis: the
+	// per-scenario fraction of sink tuples first emitted tentative, and
+	// the fraction of tentative sink batches corrected by the horizon.
+	Tentative campaign.Dist `json:"tentative_fraction"`
+	Corrected campaign.Dist `json:"corrected_fraction"`
+	// TimeToCorrection pools the per-batch correction delays (seconds)
+	// over every scenario of the cell.
+	TimeToCorrection campaign.Dist `json:"time_to_correction_s"`
+	Baseline         int           `json:"baseline_sink_tuples"`
+	Wall             float64       `json:"wall_seconds"`
 }
 
 func main() {
@@ -56,6 +67,7 @@ func main() {
 		planners    = flag.String("planners", "sa,greedy", "comma-separated plan-registry planners; \"none\" = checkpoint only")
 		placements  = flag.String("placement", "anti-affinity", "comma-separated replica placement policies: anti-affinity, round-robin")
 		fraction    = flag.Float64("fraction", 0.3, "actively replicated fraction of tasks")
+		tentative   = flag.Bool("tentative", true, "enable tentative outputs + post-recovery corrections (answer-quality metrics)")
 		models      = flag.String("models", "single,k-of-rack,domain,cascade", "comma-separated burst models")
 		scenarios   = flag.Int("scenarios", 1000, "scenarios per sweep cell")
 		seed        = flag.Int64("seed", 1, "campaign seed (scenario randomness)")
@@ -111,9 +123,10 @@ func main() {
 			// failure-free baseline is likewise placement-independent
 			// and shared across placements and models.
 			env, err := campaign.NewEnv(campaign.EnvSpec{
-				Topo:     topo,
-				Planner:  planner,
-				Fraction: *fraction,
+				Topo:      topo,
+				Planner:   planner,
+				Fraction:  *fraction,
+				Tentative: *tentative,
 			})
 			if err != nil {
 				fatal(err)
@@ -148,17 +161,20 @@ func main() {
 					}
 					baseline = rep.BaselineSinkTuples
 					rows = append(rows, row{
-						Topology:    topoName,
-						Planner:     name,
-						Placement:   placement.String(),
-						Model:       model.String(),
-						Scenarios:   rep.Summary.Scenarios,
-						Unrecovered: rep.Summary.Unrecovered,
-						Latency:     rep.Summary.Latency,
-						Loss:        rep.Summary.Loss,
-						FailedTasks: rep.Summary.FailedTasks,
-						Baseline:    rep.BaselineSinkTuples,
-						Wall:        time.Since(start).Seconds(),
+						Topology:         topoName,
+						Planner:          name,
+						Placement:        placement.String(),
+						Model:            model.String(),
+						Scenarios:        rep.Summary.Scenarios,
+						Unrecovered:      rep.Summary.Unrecovered,
+						Latency:          rep.Summary.Latency,
+						Loss:             rep.Summary.Loss,
+						FailedTasks:      rep.Summary.FailedTasks,
+						Tentative:        rep.Summary.TentativeFrac,
+						Corrected:        rep.Summary.CorrectedFrac,
+						TimeToCorrection: rep.Summary.TimeToCorrection,
+						Baseline:         rep.BaselineSinkTuples,
+						Wall:             time.Since(start).Seconds(),
 					})
 				}
 			}
@@ -202,6 +218,7 @@ var csvHeader = []string{
 	"topology", "planner", "placement", "model", "scenarios", "unrecovered",
 	"latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_p99_s", "latency_max_s",
 	"loss_mean", "loss_p95", "failed_tasks_mean", "failed_tasks_max",
+	"tentative_frac_mean", "corrected_frac_mean", "t2c_p50_s", "t2c_p95_s",
 	"baseline_sink_tuples", "wall_seconds",
 }
 
@@ -217,6 +234,7 @@ func writeCSV(w io.Writer, rows []row) error {
 			strconv.Itoa(r.Scenarios), strconv.Itoa(r.Unrecovered),
 			f(r.Latency.Mean), f(r.Latency.P50), f(r.Latency.P95), f(r.Latency.P99), f(r.Latency.Max),
 			f(r.Loss.Mean), f(r.Loss.P95), f(r.FailedTasks.Mean), f(r.FailedTasks.Max),
+			f(r.Tentative.Mean), f(r.Corrected.Mean), f(r.TimeToCorrection.P50), f(r.TimeToCorrection.P95),
 			strconv.Itoa(r.Baseline), f(r.Wall),
 		}
 		if err := cw.Write(rec); err != nil {
@@ -228,14 +246,16 @@ func writeCSV(w io.Writer, rows []row) error {
 }
 
 func writeTable(w io.Writer, rows []row) {
-	fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6s %6s | %8s %8s %8s %8s | %8s %8s %6s\n",
+	fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6s %6s | %8s %8s %8s %8s | %8s %8s %6s | %6s %6s %7s\n",
 		"topo", "planner", "placement", "model", "scen", "unrec",
-		"mean_s", "p50_s", "p95_s", "p99_s", "loss", "loss_p95", "tasks")
+		"mean_s", "p50_s", "p95_s", "p99_s", "loss", "loss_p95", "tasks",
+		"tent", "corr", "t2c_p95")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6d %6d | %8.2f %8.2f %8.2f %8.2f | %8.4f %8.4f %6.1f\n",
+		fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6d %6d | %8.2f %8.2f %8.2f %8.2f | %8.4f %8.4f %6.1f | %6.4f %6.4f %7.2f\n",
 			r.Topology, r.Planner, r.Placement, r.Model, r.Scenarios, r.Unrecovered,
 			r.Latency.Mean, r.Latency.P50, r.Latency.P95, r.Latency.P99,
-			r.Loss.Mean, r.Loss.P95, r.FailedTasks.Mean)
+			r.Loss.Mean, r.Loss.P95, r.FailedTasks.Mean,
+			r.Tentative.Mean, r.Corrected.Mean, r.TimeToCorrection.P95)
 	}
 	writeHeadToHead(w, rows)
 }

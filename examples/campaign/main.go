@@ -1,9 +1,11 @@
 // Campaign: sweep the correlated-failure space of one topology with a
 // Monte-Carlo failure campaign — seeded rack/domain/cascade bursts run
-// as independent simulations on a worker pool, with recovery-latency
-// and output-loss distributions aggregated per burst model — then pit
-// the default rack anti-affinity replica placement against the legacy
-// domain-blind round-robin placement under whole-domain bursts.
+// as independent simulations on a worker pool, with recovery-latency,
+// output-loss and answer-quality (tentative fraction, corrected
+// fraction, time-to-correction) distributions aggregated per burst
+// model — then pit the default rack anti-affinity replica placement
+// against the legacy domain-blind round-robin placement under
+// whole-domain bursts.
 package main
 
 import (
@@ -23,7 +25,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	env, err := ppa.NewCampaignEnv(ppa.CampaignEnvSpec{Topo: topo, Planner: "sa"})
+	// Tentative enables the tentative-output/correction pipeline, so
+	// the campaign also measures answer quality: how much output was
+	// tentative during failures, and how quickly it was corrected.
+	env, err := ppa.NewCampaignEnv(ppa.CampaignEnvSpec{Topo: topo, Planner: "sa", Tentative: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +64,9 @@ func main() {
 		fmt.Printf("%-10s latency mean=%5.2fs p95=%5.2fs p99=%5.2fs  loss mean=%.4f  blast mean=%.1f tasks  unrecovered=%d/%d\n",
 			model, s.Latency.Mean, s.Latency.P95, s.Latency.P99,
 			s.Loss.Mean, s.FailedTasks.Mean, s.Unrecovered, s.Scenarios)
+		fmt.Printf("%-10s quality tentative mean=%.4f  corrected mean=%.4f  t2c p50=%5.2fs p95=%5.2fs\n",
+			"", s.TentativeFrac.Mean, s.CorrectedFrac.Mean,
+			s.TimeToCorrection.P50, s.TimeToCorrection.P95)
 	}
 
 	// 3. Placement head-to-head: fully replicate the topology and run

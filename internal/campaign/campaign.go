@@ -50,8 +50,19 @@ type ScenarioResult struct {
 	// SinkTuples is the output volume observed at the sinks.
 	SinkTuples int
 	// OutputLoss is the relative output deficit vs the failure-free
-	// baseline, clamped to [0,1].
+	// baseline. Sink accounting deduplicates replayed batches, so the
+	// loss needs no clamping.
 	OutputLoss float64
+	// TentativeFrac is the share of sink tuples first emitted tentative
+	// (computed from incomplete input anywhere upstream). Requires
+	// engine.Config.TentativeOutputs (EnvSpec.Tentative).
+	TentativeFrac float64
+	// CorrectedFrac is the share of tentative sink batches corrected by
+	// the post-recovery amendment layer before the horizon.
+	CorrectedFrac float64
+	// CorrectionDelays are the per-batch times (virtual seconds) from
+	// tentative emission to correction.
+	CorrectionDelays []float64
 }
 
 // Dist summarises a sample distribution.
@@ -103,6 +114,16 @@ type Summary struct {
 	// FailedTasks summarises the blast radius (failed primary tasks per
 	// scenario).
 	FailedTasks Dist `json:"failed_tasks"`
+	// TentativeFrac summarises the per-scenario share of sink tuples
+	// first emitted tentative; CorrectedFrac the share of tentative
+	// sink batches corrected before the horizon, over the scenarios
+	// that produced tentative output at all. Both are zero unless the
+	// environment enables tentative outputs.
+	TentativeFrac Dist `json:"tentative_fraction"`
+	CorrectedFrac Dist `json:"corrected_fraction"`
+	// TimeToCorrection summarises the per-batch correction delays
+	// (seconds), pooled over every scenario of the campaign.
+	TimeToCorrection Dist `json:"time_to_correction_s"`
 }
 
 // Report is the full outcome of one campaign.
@@ -149,9 +170,6 @@ func Run(cfg Config) (*Report, error) {
 		r.Scenario = sc
 		if base > 0 {
 			r.OutputLoss = 1 - float64(r.SinkTuples)/float64(base)
-			if r.OutputLoss < 0 {
-				r.OutputLoss = 0 // replay can re-emit batches at sinks
-			}
 		}
 		results[i] = r
 	})
@@ -182,6 +200,15 @@ func runOne(setup func() (engine.Setup, error), waves []Wave, horizon sim.Time) 
 	}
 	e.Run(horizon)
 	res := ScenarioResult{Recovered: true, SinkTuples: e.SinkTupleCount()}
+	acc := e.AccuracyStats()
+	res.TentativeFrac = acc.TentativeFraction()
+	res.CorrectedFrac = acc.CorrectedFraction()
+	if n := len(acc.CorrectionDelays); n > 0 {
+		res.CorrectionDelays = make([]float64, n)
+		for i, d := range acc.CorrectionDelays {
+			res.CorrectionDelays[i] = float64(d)
+		}
+	}
 	for _, st := range e.RecoveryStats() {
 		res.FailedTasks++
 		if !st.Recovered {
@@ -199,10 +226,15 @@ func runOne(setup func() (engine.Setup, error), waves []Wave, horizon sim.Time) 
 // summary is bit-identical across worker counts.
 func summarise(results []ScenarioResult) Summary {
 	sum := Summary{Scenarios: len(results)}
-	var lats, losses, blast []float64
+	var lats, losses, blast, tent, corr, t2c []float64
 	for _, r := range results {
 		losses = append(losses, r.OutputLoss)
 		blast = append(blast, float64(r.FailedTasks))
+		tent = append(tent, r.TentativeFrac)
+		if r.TentativeFrac > 0 {
+			corr = append(corr, r.CorrectedFrac)
+		}
+		t2c = append(t2c, r.CorrectionDelays...)
 		if !r.Recovered {
 			sum.Unrecovered++
 			continue
@@ -214,5 +246,8 @@ func summarise(results []ScenarioResult) Summary {
 	sum.Latency = NewDist(lats)
 	sum.Loss = NewDist(losses)
 	sum.FailedTasks = NewDist(blast)
+	sum.TentativeFrac = NewDist(tent)
+	sum.CorrectedFrac = NewDist(corr)
+	sum.TimeToCorrection = NewDist(t2c)
 	return sum
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/topology"
 )
 
 // testEnv builds a small, fast campaign environment.
@@ -175,6 +176,106 @@ func TestCampaignRecoversAndMeasures(t *testing.T) {
 	}
 }
 
+// deepChainTopo builds src(2) -> A(2) -> B(2) -> C(1): three operator
+// levels below the sources, so whole-rack bursts regularly leave the
+// sink two or more hops from a failed task.
+func deepChainTopo(t testing.TB) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder()
+	src := b.AddSource("src", 2, 1000)
+	a := b.AddOperator("A", 2, topology.Independent, 1)
+	bb := b.AddOperator("B", 2, topology.Independent, 0.8)
+	c := b.AddOperator("C", 1, topology.Independent, 0.8)
+	b.Connect(src, a, topology.OneToOne)
+	b.Connect(a, bb, topology.Split)
+	b.Connect(bb, c, topology.Merge)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestCampaignAccuracyMetrics is the acceptance check of the
+// tentative/correction pipeline at campaign scale: a whole-rack burst
+// campaign over a three-level topology reports tentative sink output,
+// a nonzero corrected fraction with plausible time-to-correction, and
+// a failure-free baseline that is firm-only and bit-identical to a run
+// without the feature.
+func TestCampaignAccuracyMetrics(t *testing.T) {
+	topo := deepChainTopo(t)
+	env, err := NewEnv(EnvSpec{Topo: topo, Tentative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := Generate(c, GenSpec{Seed: 9, Scenarios: 8, Model: WholeDomain, Correlation: DefaultCorrelation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, seq) {
+		t.Fatalf("accuracy metrics differ across worker counts:\npar: %+v\nseq: %+v", rep.Summary, seq.Summary)
+	}
+	s := rep.Summary
+	if s.TentativeFrac.Max <= 0 {
+		t.Fatal("no scenario produced tentative sink output")
+	}
+	if s.CorrectedFrac.Max <= 0 {
+		t.Fatal("no scenario corrected any tentative output")
+	}
+	if s.TimeToCorrection.P95 <= 0 || s.TimeToCorrection.P50 <= 0 {
+		t.Fatalf("implausible time-to-correction distribution %+v", s.TimeToCorrection)
+	}
+	if s.TimeToCorrection.Max > 150 {
+		t.Fatalf("correction delay %v beyond the horizon", s.TimeToCorrection.Max)
+	}
+	for _, r := range rep.Results {
+		if r.OutputLoss < 0 {
+			t.Errorf("scenario %d: negative loss %v (sink accounting overcounts)", r.Scenario.Index, r.OutputLoss)
+		}
+		for _, d := range r.CorrectionDelays {
+			if d <= 0 || d > 150 {
+				t.Errorf("scenario %d: implausible correction delay %v", r.Scenario.Index, d)
+			}
+		}
+	}
+
+	// The failure-free baseline is unaffected by the pipeline: same
+	// volume with the feature on and off, and zero tentative output.
+	plain, err := NewEnv(EnvSpec{Topo: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Env{env, plain} {
+		setup, err := e.Setup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(150)
+		if got := eng.SinkTupleCount(); got != rep.BaselineSinkTuples {
+			t.Errorf("failure-free volume %d differs from campaign baseline %d", got, rep.BaselineSinkTuples)
+		}
+		if acc := eng.AccuracyStats(); acc.TentativeBatches != 0 {
+			t.Errorf("failure-free run recorded %d tentative batches", acc.TentativeBatches)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	env := testEnv(t, "")
 	if _, err := Run(Config{Scenarios: []Scenario{{}}}); err == nil {
@@ -277,6 +378,36 @@ func BenchmarkCampaign(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAccuracyCampaign runs a small tentative-output campaign and
+// reports the answer-quality metrics via b.ReportMetric, so the CI
+// bench artifact (BENCH_<sha>.json) carries the tentative/corrected
+// fields across commits.
+func BenchmarkAccuracyCampaign(b *testing.B) {
+	topo := deepChainTopo(b)
+	env, err := NewEnv(EnvSpec{Topo: topo, Tentative: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := env.Cluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios, err := Generate(c, GenSpec{Seed: 9, Scenarios: 8, Model: WholeDomain, Correlation: DefaultCorrelation})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *Report
+	for i := 0; i < b.N; i++ {
+		rep, err = Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Summary.TentativeFrac.Mean, "tentative_frac")
+	b.ReportMetric(rep.Summary.CorrectedFrac.Mean, "corrected_frac")
+	b.ReportMetric(rep.Summary.TimeToCorrection.P95, "t2c_p95_s")
 }
 
 func TestEnvWindowKnobsUnified(t *testing.T) {

@@ -42,6 +42,13 @@ type EnvSpec struct {
 	// planners (name suffix "-corr") — no other planner reads it.
 	CorrScenarios int
 	CorrSeed      int64
+	// Tentative enables the tentative-output/correction pipeline
+	// (engine.Config.TentativeOutputs): during failures the surviving
+	// topology keeps producing tentative-marked results, and recovered
+	// tasks emit amendment corrections. The campaign accuracy metrics
+	// (tentative fraction, corrected fraction, time-to-correction) are
+	// all zero without it. Failure-free runs are unaffected.
+	Tentative bool
 	// TasksPerNode controls cluster sizing (default 2 primary tasks per
 	// processing node).
 	TasksPerNode int
@@ -218,6 +225,9 @@ func (env *Env) setup(placement cluster.PlacementPolicy) (engine.Setup, error) {
 	}
 	cfg := env.spec.Config
 	cfg.WindowBatches = env.spec.WindowBatches
+	if env.spec.Tentative {
+		cfg.TentativeOutputs = true
+	}
 	if cfg.CheckpointInterval == 0 {
 		cfg.CheckpointInterval = 15
 	}

@@ -56,8 +56,17 @@ type Config struct {
 	// deduplicated during replica take-over, in tuples per second
 	// (default 50000; resending is cheaper than processing).
 	ResendRate float64
+	// RecoveryPollInterval is the period at which a checkpoint-restored
+	// task polls for its failed upstream peers to catch up before its
+	// own recovery starts (the §V-B synchronisation). The default is
+	// HeartbeatInterval/20, so the synchronisation cost scales with the
+	// failure-detection cadence.
+	RecoveryPollInterval sim.Time
 	// TentativeOutputs enables fabricated batch-over punctuations for
 	// failed tasks so the surviving topology keeps producing (§V-B).
+	// Tentativeness propagates: a task that processed any fabricated or
+	// tentative input emits tentative output, so the taint reaches sinks
+	// at any depth, and recovered tasks trigger amendment corrections.
 	TentativeOutputs bool
 	// WindowBatches is the number of batches covered by the query's
 	// sliding window; source-replay recovery replays the unfinished
@@ -82,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatInterval == 0 {
 		c.HeartbeatInterval = 5
+	}
+	if c.RecoveryPollInterval == 0 {
+		c.RecoveryPollInterval = c.HeartbeatInterval / 20
 	}
 	if c.CheckpointFixed == 0 {
 		c.CheckpointFixed = 0.02

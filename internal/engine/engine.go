@@ -47,17 +47,43 @@ type Engine struct {
 
 	sinks        []SinkRecord
 	sinkTuples   int // total tuples (materialised + counted) seen at sinks
+	sinkAcct     map[sinkKey]*sinkBatchAcct
 	currentBatch int // last batch emitted by the source ticker
 	horizon      sim.Time
 }
 
 // checkpointData is one stored checkpoint: computation state plus the
-// output buffer (§II-B).
+// output buffer (§II-B), the tentative marks of the buffered batches
+// and the record of still-owed (fabricated) inputs, so a restored task
+// keeps accepting the late corrections of batches it closed tentative
+// before the snapshot.
 type checkpointData struct {
-	batch  int
-	state  []byte
-	outBuf map[topology.TaskID]map[int]Batch
-	bytes  int
+	batch   int
+	state   []byte
+	outBuf  map[topology.TaskID]map[int]Batch
+	tentOut map[int]bool
+	missIn  map[int]map[topology.TaskID]bool
+	bytes   int
+}
+
+// sinkKey identifies one batch of one sink task in the output-accuracy
+// accounting.
+type sinkKey struct {
+	task  topology.TaskID
+	batch int
+}
+
+// sinkBatchAcct is the per-(sink task, batch) output accounting: it
+// deduplicates replayed re-emissions (a restored sink reprocesses
+// batches it already recorded) and tracks the tentative/corrected
+// lifecycle of the batch.
+type sinkBatchAcct struct {
+	count        int  // tuples currently accounted for the batch
+	firstCount   int  // tuples recorded when the batch was first seen
+	tentative    bool // still tentative (no firm reprocessing yet)
+	wasTentative bool // ever recorded tentative
+	firstAt      sim.Time
+	correctedAt  sim.Time // latest amendment / firm reprocessing; -1 if never
 }
 
 // New builds an engine. Placement must already be set on the cluster (or
@@ -77,6 +103,7 @@ func New(s Setup) (*Engine, error) {
 		sources:   s.Sources,
 		operators: s.Operators,
 		store:     make(map[topology.TaskID]*checkpointData),
+		sinkAcct:  make(map[sinkKey]*sinkBatchAcct),
 	}
 	if e.clus == nil {
 		e.clus = cluster.New(1, 1)
@@ -159,13 +186,13 @@ func (e *Engine) PPAPlanTasks() []topology.TaskID {
 // deliver schedules the delivery of a batch fragment (and punctuation)
 // from one task to another after the network delay. The current primary
 // incarnation and the replica of the destination both receive it.
-func (e *Engine) deliver(from, to topology.TaskID, batch int, content Batch, punct, fab bool) {
+func (e *Engine) deliver(from, to topology.TaskID, batch int, content Batch, d delivery) {
 	e.clock.After(e.cfg.NetDelay, func() {
 		if rt := e.tasks[to]; rt != nil {
-			rt.receive(from, batch, content, punct, fab)
+			rt.receive(from, batch, content, d)
 		}
 		if rep := e.replicas[to]; rep != nil {
-			rep.receive(from, batch, content, punct, fab)
+			rep.receive(from, batch, content, d)
 		}
 	})
 }
@@ -228,6 +255,11 @@ func (e *Engine) scheduleCheckpoints() {
 
 func (e *Engine) scheduleCheckpoint(id topology.TaskID, at sim.Time) {
 	e.clock.At(at, func() {
+		// A failed StrategyNone task never gets a new incarnation: stop
+		// the dead timer chain instead of re-arming it forever.
+		if rt := e.tasks[id]; rt != nil && rt.failed && e.strategy[id] == StrategyNone {
+			return
+		}
 		e.takeCheckpoint(id)
 		e.scheduleCheckpoint(id, at+e.cfg.CheckpointInterval)
 	})
@@ -252,10 +284,25 @@ func (e *Engine) takeCheckpoint(id topology.TaskID) {
 		}
 		outCopy[d] = m
 	}
+	tentCopy := make(map[int]bool, len(rt.tentOut))
+	for b, t := range rt.tentOut {
+		tentCopy[b] = t
+	}
+	missCopy := make(map[int]map[topology.TaskID]bool, len(rt.missIn))
+	for b, owed := range rt.missIn {
+		if b > rt.processedBatch {
+			continue // open batches are re-staged from scratch on restore
+		}
+		m := make(map[topology.TaskID]bool, len(owed))
+		for u, v := range owed {
+			m[u] = v
+		}
+		missCopy[b] = m
+	}
 	cost := e.cfg.CheckpointFixed + sim.Time(float64(bytes)/e.cfg.CheckpointByteRate)
 	rt.busyUntil = maxTime(rt.busyUntil, e.clock.Now()) + cost
 	rt.ckptCPU += cost
-	e.store[id] = &checkpointData{batch: rt.processedBatch, state: state, outBuf: outCopy, bytes: bytes}
+	e.store[id] = &checkpointData{batch: rt.processedBatch, state: state, outBuf: outCopy, tentOut: tentCopy, missIn: missCopy, bytes: bytes}
 
 	// Notify upstream neighbours (and their replicas, which hold the
 	// same buffers) to trim their buffers for this task.
@@ -287,8 +334,13 @@ func (e *Engine) scheduleReplicaTrims() {
 func (e *Engine) scheduleReplicaTrim(id topology.TaskID, at sim.Time) {
 	e.clock.At(at, func() {
 		rep := e.replicas[id]
-		prim := e.tasks[id]
-		if rep != nil && prim != nil && !prim.failed && rep.isReplica {
+		// The replica is gone (promoted) or its standby node failed:
+		// acking a dead replica is wrong and the timer chain can never
+		// become useful again, so it stops here.
+		if rep == nil || rep.failed || !rep.isReplica {
+			return
+		}
+		if prim := e.tasks[id]; prim != nil && !prim.failed {
 			rep.ackAndTrim(prim.processedBatch, e.cfg.CheckpointInterval > 0)
 		}
 		e.scheduleReplicaTrim(id, at+e.cfg.ReplicaTrimInterval)
@@ -387,15 +439,146 @@ func (e *Engine) failTasks(ids []topology.TaskID) {
 	}
 }
 
-// SinkRecords returns all outputs observed at sink tasks so far.
+// recordSinkBatch accounts one batch completion at a sink task.
+// Accounting is deduplicated per (task, batch): a restored sink that
+// reprocesses batches it already recorded does not count them twice. A
+// firm reprocessing of a batch first recorded tentative replaces it and
+// marks the batch corrected — the post-recovery correction a restored
+// sink performs implicitly.
+func (e *Engine) recordSinkBatch(task topology.TaskID, batch int, tuples []Tuple, extra int, tentative bool) {
+	total := len(tuples) + extra
+	key := sinkKey{task: task, batch: batch}
+	now := e.clock.Now()
+	a := e.sinkAcct[key]
+	if a == nil {
+		e.sinkAcct[key] = &sinkBatchAcct{
+			count:        total,
+			firstCount:   total,
+			tentative:    tentative,
+			wasTentative: tentative,
+			firstAt:      now,
+			correctedAt:  -1,
+		}
+		e.sinkTuples += total
+		for _, t := range tuples {
+			e.sinks = append(e.sinks, SinkRecord{Task: task, Batch: batch, Tuple: t, Tentative: tentative, At: now})
+		}
+		return
+	}
+	if a.tentative && !tentative {
+		e.sinkTuples += total - a.count
+		a.count = total
+		a.tentative = false
+		a.correctedAt = now
+		for _, t := range tuples {
+			e.sinks = append(e.sinks, SinkRecord{Task: task, Batch: batch, Tuple: t, Amendment: true, At: now})
+		}
+	}
+}
+
+// recordSinkAmendment accounts an amendment delta arriving at a sink
+// for a batch it recorded tentative: the delta tuples are added and the
+// batch gains (or refreshes) its corrected-at timestamp. Amendments for
+// batches never recorded tentative are replay duplicates and ignored.
+func (e *Engine) recordSinkAmendment(task topology.TaskID, batch int, tuples []Tuple, extra int) {
+	a := e.sinkAcct[sinkKey{task: task, batch: batch}]
+	if a == nil || !a.wasTentative {
+		return
+	}
+	total := len(tuples) + extra
+	now := e.clock.Now()
+	a.count += total
+	a.correctedAt = now
+	e.sinkTuples += total
+	for _, t := range tuples {
+		e.sinks = append(e.sinks, SinkRecord{Task: task, Batch: batch, Tuple: t, Amendment: true, At: now})
+	}
+}
+
+// SinkRecords returns all outputs observed at sink tasks so far,
+// including amendment records emitted by the correction layer.
 func (e *Engine) SinkRecords() []SinkRecord { return e.sinks }
 
 // SinkTupleCount returns the total number of tuples observed at sink
 // tasks so far, counting both materialised tuples and unmaterialised
-// (count-only) output. Recovery replay may re-emit batches at a
-// restored sink, so the count can slightly exceed the failure-free
-// volume; output-loss measurements clamp at zero.
+// (count-only) output. Accounting is deduplicated per (task, batch), so
+// recovery replay that re-emits batches at a restored sink does not
+// inflate the count past the failure-free volume.
 func (e *Engine) SinkTupleCount() int { return e.sinkTuples }
+
+// AccuracyStats summarises the tentative/correction lifecycle of the
+// sink output: how much of it was first emitted tentative, how much of
+// the tentative output was later corrected (by amendments or firm
+// reprocessing), and how long each correction took.
+type AccuracyStats struct {
+	// FirmTuples and FirmBatches count output that was firm on first
+	// emission. TentativeTuples and TentativeBatches count output first
+	// emitted tentative (at its original, possibly deficient volume).
+	FirmTuples       int
+	FirmBatches      int
+	TentativeTuples  int
+	TentativeBatches int
+	// CorrectedBatches counts the tentative batches that received a
+	// correction; AmendedTuples is the net tuple volume the corrections
+	// added. TentativeBatches - CorrectedBatches batches were never
+	// corrected within the run.
+	CorrectedBatches int
+	AmendedTuples    int
+	// CorrectionDelays holds, per corrected batch, the virtual time from
+	// the tentative emission to its (latest) correction.
+	CorrectionDelays []sim.Time
+}
+
+// TentativeFraction is the share of sink tuples first emitted
+// tentative. Zero in a failure-free run.
+func (s AccuracyStats) TentativeFraction() float64 {
+	total := s.FirmTuples + s.TentativeTuples
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TentativeTuples) / float64(total)
+}
+
+// CorrectedFraction is the share of tentative sink batches that were
+// corrected before the end of the run.
+func (s AccuracyStats) CorrectedFraction() float64 {
+	if s.TentativeBatches == 0 {
+		return 0
+	}
+	return float64(s.CorrectedBatches) / float64(s.TentativeBatches)
+}
+
+// AccuracyStats aggregates the per-(task, batch) sink accounting in
+// deterministic (task, batch) order.
+func (e *Engine) AccuracyStats() AccuracyStats {
+	keys := make([]sinkKey, 0, len(e.sinkAcct))
+	for k := range e.sinkAcct {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].task != keys[j].task {
+			return keys[i].task < keys[j].task
+		}
+		return keys[i].batch < keys[j].batch
+	})
+	var s AccuracyStats
+	for _, k := range keys {
+		a := e.sinkAcct[k]
+		if !a.wasTentative {
+			s.FirmBatches++
+			s.FirmTuples += a.firstCount
+			continue
+		}
+		s.TentativeBatches++
+		s.TentativeTuples += a.firstCount
+		s.AmendedTuples += a.count - a.firstCount
+		if a.correctedAt >= 0 {
+			s.CorrectedBatches++
+			s.CorrectionDelays = append(s.CorrectionDelays, a.correctedAt-a.firstAt)
+		}
+	}
+	return s
+}
 
 // RecoveryStats returns per-task failure/recovery measurements, sorted
 // by task ID.

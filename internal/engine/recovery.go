@@ -188,8 +188,9 @@ func (m *master) installCheckpoint(id topology.TaskID, ck *checkpointData) {
 		urt := e.tasks[u]
 		if urt == nil || urt.failed || urt.recovering {
 			// An upstream peer is still failed or catching up: poll
-			// until it has recovered (the §V-B synchronisation).
-			e.clock.After(0.25, func() { m.installCheckpoint(id, ck) })
+			// until it has recovered (the §V-B synchronisation). The
+			// poll period scales with the failure-detection cadence.
+			e.clock.After(e.cfg.RecoveryPollInterval, func() { m.installCheckpoint(id, ck) })
 			return
 		}
 	}
@@ -198,7 +199,11 @@ func (m *master) installCheckpoint(id topology.TaskID, ck *checkpointData) {
 	rt.recovering = true
 	if ck != nil {
 		if rt.isSource {
-			rt.nextBatch = decodeInt(ck.state)
+			nb, err := decodeInt(ck.state)
+			if err != nil {
+				panic("engine: checkpoint restore failed: " + err.Error())
+			}
+			rt.nextBatch = nb
 		} else if err := rt.udf.Restore(ck.state); err != nil {
 			panic("engine: checkpoint restore failed: " + err.Error())
 		}
@@ -212,6 +217,16 @@ func (m *master) installCheckpoint(id topology.TaskID, ck *checkpointData) {
 				mm[b] = content
 			}
 			rt.outBuf[d] = mm
+		}
+		for b, t := range ck.tentOut {
+			rt.tentOut[b] = t
+		}
+		for b, owed := range ck.missIn {
+			for u, v := range owed {
+				if v {
+					markIn(rt.missIn, b, u)
+				}
+			}
 		}
 	}
 	e.tasks[id] = rt
@@ -335,11 +350,16 @@ func (m *master) isDone(id topology.TaskID) bool {
 // fabricate delivers batch-over punctuations on behalf of failed or
 // still-recovering tasks so their downstream tasks keep producing
 // tentative outputs (§V-B Tentative Outputs). Runs on every batch tick.
+// Replicas of the downstream tasks receive the fabrication too, keeping
+// the identical-input discipline of §V-B: a replica promoted during the
+// tentative window has processed the same (fabricated) batches as the
+// primary it replaces.
 func (m *master) fabricate() {
 	e := m.eng
 	if !e.cfg.TentativeOutputs {
 		return
 	}
+	fab := delivery{punct: true, tent: true, fab: true}
 	for _, id := range m.pendingIDs() {
 		f := m.pending[id]
 		if !f.detected {
@@ -348,15 +368,16 @@ func (m *master) fabricate() {
 		downs := e.topo.DownstreamTasks(id)
 		sortIDs(downs)
 		for _, d := range downs {
-			drt := e.tasks[d]
-			if drt == nil || drt.failed {
-				continue
-			}
-			for b := drt.nextBatch; b <= e.currentBatch; b++ {
-				if pm := drt.puncts[b]; pm != nil && pm[id] {
+			for _, drt := range []*taskRuntime{e.tasks[d], e.replicas[d]} {
+				if drt == nil || drt.failed {
 					continue
 				}
-				drt.receive(id, b, Batch{}, true, true)
+				for b := drt.nextBatch; b <= e.currentBatch; b++ {
+					if pm := drt.puncts[b]; pm != nil && pm[id] {
+						continue
+					}
+					drt.receive(id, b, Batch{}, fab)
+				}
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 
@@ -14,6 +15,24 @@ type route struct {
 	recipients []topology.TaskID
 	weights    []float64
 	weightSum  float64
+}
+
+// delivery carries the control flags of one batch message between tasks.
+type delivery struct {
+	// punct marks the message as carrying the batch-over punctuation.
+	punct bool
+	// tent marks the payload (and punctuation) as tentative: it was
+	// computed from incomplete or itself-tentative input, so every
+	// downstream consumer inherits the taint (§V-B Tentative Outputs).
+	tent bool
+	// fab marks a master-fabricated punctuation: the upstream task is
+	// down and its input data for the batch is missing entirely. Implies
+	// tent. The receiver records which input is owed so the late real
+	// data can trigger an amendment after recovery.
+	fab bool
+	// amend marks an amendment delta: a correction for a batch the
+	// receiver may have already closed on tentative input.
+	amend bool
 }
 
 // taskRuntime is one incarnation of a task (primary or active replica).
@@ -44,10 +63,22 @@ type taskRuntime struct {
 	upOp      map[topology.TaskID]int
 	routes    []route
 
-	staged     map[int]map[topology.TaskID]*Batch
-	puncts     map[int]map[topology.TaskID]bool
-	fabricated map[int]bool
-	nextBatch  int
+	staged map[int]map[topology.TaskID]*Batch
+	puncts map[int]map[topology.TaskID]bool
+	// taintIn records, per open batch and upstream, a tentative (or
+	// fabricated) punctuation: a batch closed with any entry left is
+	// tentative and its output carries the taint downstream.
+	taintIn map[int]map[topology.TaskID]bool
+	// missIn records, per batch and upstream, a master-fabricated
+	// punctuation whose real data never arrived: the input is owed.
+	// Entries survive the batch close so that the recovered upstream's
+	// late real data can be matched and reprocessed as an amendment.
+	missIn map[int]map[topology.TaskID]bool
+	// tentOut marks the batches this incarnation closed (and emitted)
+	// tentative. Amendments are only accepted for batches in tentOut,
+	// and replayed buffered output re-delivers the taint.
+	tentOut   map[int]bool
+	nextBatch int
 	// processedBatch is the progress measure: the last batch fully
 	// processed (§VI's progress vector collapses to the batch index
 	// under the batch discipline).
@@ -92,7 +123,9 @@ func newTaskRuntime(e *Engine, id topology.TaskID, isReplica bool) *taskRuntime 
 		upOp:           make(map[topology.TaskID]int),
 		staged:         make(map[int]map[topology.TaskID]*Batch),
 		puncts:         make(map[int]map[topology.TaskID]bool),
-		fabricated:     make(map[int]bool),
+		taintIn:        make(map[int]map[topology.TaskID]bool),
+		missIn:         make(map[int]map[topology.TaskID]bool),
+		tentOut:        make(map[int]bool),
 		outBuf:         make(map[topology.TaskID]map[int]Batch),
 		ckptBound:      make(map[topology.TaskID]int),
 		tupleProgress:  make(map[topology.TaskID]int64),
@@ -138,44 +171,140 @@ func newTaskRuntime(e *Engine, id topology.TaskID, isReplica bool) *taskRuntime 
 
 // receive stages an incoming batch fragment; duplicates of already
 // processed batches are dropped (the dedup that skips replayed and
-// replica-duplicated output, §V-B).
-func (rt *taskRuntime) receive(from topology.TaskID, batch int, content Batch, punct, fab bool) {
+// replica-duplicated output, §V-B) unless they correct a batch that was
+// closed on fabricated input, in which case they trigger an amendment.
+func (rt *taskRuntime) receive(from topology.TaskID, batch int, content Batch, d delivery) {
 	if rt.failed || rt.isSource {
-		return
-	}
-	if batch < rt.nextBatch {
 		return
 	}
 	if _, known := rt.upOp[from]; !known {
 		return
 	}
-	if content.Count > 0 {
-		m := rt.staged[batch]
-		if m == nil {
-			m = make(map[topology.TaskID]*Batch)
-			rt.staged[batch] = m
-		}
-		b := m[from]
-		if b == nil {
-			b = &Batch{}
-			m[from] = b
-		}
-		b.Append(content)
+	if batch < rt.nextBatch {
+		rt.receiveLate(from, batch, content, d)
+		return
 	}
-	if punct {
-		m := rt.puncts[batch]
+	if d.amend {
+		// Amendment delta for a batch still open here: it simply joins
+		// the staged input and is processed with the batch. The
+		// upstream's taint is deliberately NOT lifted: the amendment may
+		// be partial (one per resolved missing input upstream), so
+		// closing the batch firm could silently miss a later delta —
+		// a conservative never-corrected tentative mark is safer.
+		if content.Count > 0 {
+			rt.stageInput(from, batch, content)
+		}
+		rt.tryProcess()
+		return
+	}
+	m := rt.puncts[batch]
+	seen := m != nil && m[from]
+	// A recorded punctuation means this upstream already delivered the
+	// batch in full: later payloads for the same (upstream, batch) are
+	// replay duplicates and are dropped — unless the punctuation was
+	// fabricated (the data is owed) and the real payload arrives now.
+	// Absorbing that payload settles the debt immediately, whether it is
+	// firm or still tentative: a repeated resend must not stage it twice.
+	if content.Count > 0 && (!seen || rt.missIn[batch][from]) {
+		rt.stageInput(from, batch, content)
+		rt.settleOwed(batch, from)
+	}
+	if d.punct {
 		if m == nil {
 			m = make(map[topology.TaskID]bool)
 			rt.puncts[batch] = m
 		}
-		if !m[from] {
+		if !seen {
 			m[from] = true
-			if fab {
-				rt.fabricated[batch] = true
+			if d.tent {
+				markIn(rt.taintIn, batch, from)
+				if d.fab {
+					markIn(rt.missIn, batch, from)
+				}
 			}
+		}
+		if !d.tent {
+			// The real, firm payload arrived before the batch closed
+			// (e.g. a recovered upstream resent it after the master had
+			// fabricated its punctuation): the input is complete after
+			// all, so the taint and the missing mark are lifted.
+			clearIn(rt.taintIn, batch, from)
+			clearIn(rt.missIn, batch, from)
 		}
 	}
 	rt.tryProcess()
+}
+
+// receiveLate handles messages for batches this incarnation already
+// closed: amendment deltas from upstream corrections, and the late real
+// data of batches that were closed on fabricated punctuations. Both are
+// reprocessed as amendments, which is how a correction propagates hop
+// by hop until it reaches the sinks.
+func (rt *taskRuntime) receiveLate(from topology.TaskID, batch int, content Batch, d delivery) {
+	if !rt.tentOut[batch] {
+		return // the batch closed firm here: replayed duplicates are dropped
+	}
+	if d.amend {
+		rt.reprocessAmendment(from, batch, content)
+		return
+	}
+	if !d.punct || d.tent {
+		return // a still-tentative replay cannot correct anything
+	}
+	if miss := rt.missIn[batch]; miss[from] {
+		rt.settleOwed(batch, from)
+		rt.reprocessAmendment(from, batch, content)
+	}
+}
+
+// settleOwed clears the owed-input record of (batch, from) on the live
+// incarnation AND in the stored checkpoint: once the late data has been
+// absorbed or amended, a restore from a pre-correction snapshot must
+// not repeat the amendment (the upstream resends the same batch on
+// every recovery, and a duplicate amendment would overcount at sinks).
+func (rt *taskRuntime) settleOwed(batch int, from topology.TaskID) {
+	clearIn(rt.missIn, batch, from)
+	if ck := rt.eng.store[rt.id]; ck != nil {
+		if owed := ck.missIn[batch]; owed != nil {
+			delete(owed, from)
+			if len(owed) == 0 {
+				delete(ck.missIn, batch)
+			}
+		}
+	}
+}
+
+// stageInput merges one incoming batch fragment into the staged input.
+func (rt *taskRuntime) stageInput(from topology.TaskID, batch int, content Batch) {
+	m := rt.staged[batch]
+	if m == nil {
+		m = make(map[topology.TaskID]*Batch)
+		rt.staged[batch] = m
+	}
+	b := m[from]
+	if b == nil {
+		b = &Batch{}
+		m[from] = b
+	}
+	b.Append(content)
+}
+
+func markIn(m map[int]map[topology.TaskID]bool, batch int, from topology.TaskID) {
+	s := m[batch]
+	if s == nil {
+		s = make(map[topology.TaskID]bool)
+		m[batch] = s
+	}
+	s[from] = true
+}
+
+func clearIn(m map[int]map[topology.TaskID]bool, batch int, from topology.TaskID) {
+	if s := m[batch]; s != nil {
+		delete(s, from)
+		if len(s) == 0 {
+			delete(m, batch)
+		}
+	}
 }
 
 // ready reports whether every upstream punctuation for the batch is in.
@@ -240,18 +369,29 @@ func (rt *taskRuntime) completeBatch(b int, cost sim.Time) {
 		rt.tupleProgress[u] += int64(in.Count)
 	}
 	rt.udf.OnBatchEnd(b, rt)
-	rt.finishEmit(b)
+	// A batch closed with any tentative or fabricated punctuation left
+	// standing produces tentative output, whatever the task's distance
+	// from the failure: the taint travels with the emitted batches.
+	tentative := len(rt.taintIn[b]) > 0
+	if tentative {
+		rt.tentOut[b] = true
+	} else {
+		delete(rt.tentOut, b) // reprocessed firm (e.g. after a rewind)
+	}
+	rt.finishEmit(b, tentative)
 	delete(rt.staged, b)
 	delete(rt.puncts, b)
-	tentative := rt.fabricated[b]
-	delete(rt.fabricated, b)
+	delete(rt.taintIn, b)
+	// missIn[b] is kept: it records which upstream inputs are still
+	// owed, matched against the recovered upstream's late real data to
+	// trigger the amendment that corrects this batch.
+	if !tentative {
+		delete(rt.missIn, b)
+	}
 	rt.nextBatch = b + 1
 	rt.processedBatch = b
 	if rt.eng.topo.IsSink(rt.opIdx) && !rt.isReplica {
-		for _, t := range rt.sinkOut {
-			rt.eng.sinks = append(rt.eng.sinks, SinkRecord{Task: rt.id, Batch: b, Tuple: t, Tentative: tentative})
-		}
-		rt.eng.sinkTuples += len(rt.sinkOut) + rt.sinkCount
+		rt.eng.recordSinkBatch(rt.id, b, rt.sinkOut, rt.sinkCount, tentative)
 	}
 	rt.sinkOut = nil
 	rt.sinkCount = 0
@@ -314,8 +454,9 @@ func (rt *taskRuntime) stageEmit(to topology.TaskID, content Batch) {
 }
 
 // finishEmit buffers the batch outputs and, on a primary, delivers them
-// with batch-over punctuations to every downstream task.
-func (rt *taskRuntime) finishEmit(batch int) {
+// with batch-over punctuations to every downstream task. The tentative
+// bit rides on the punctuation so downstream tasks inherit the taint.
+func (rt *taskRuntime) finishEmit(batch int, tentative bool) {
 	for i := range rt.routes {
 		r := &rt.routes[i]
 		for _, rec := range r.recipients {
@@ -330,8 +471,63 @@ func (rt *taskRuntime) finishEmit(batch int) {
 			}
 			buf[batch] = content
 			if !rt.isReplica {
-				rt.eng.deliver(rt.id, rec, batch, content, true, false)
+				rt.eng.deliver(rt.id, rec, batch, content, delivery{punct: true, tent: tentative})
 			}
+		}
+	}
+	rt.emitting = nil
+}
+
+// reprocessAmendment re-runs a late input delta of an already-closed
+// tentative batch through a fresh operator instance and emits the
+// result as an amendment. For the engine's linear synthetic operators
+// (counts, passthrough, windowed selectivity) the output of the delta
+// equals the delta of the outputs, so the amendment exactly closes the
+// gap the fabricated input left; for non-linear operators it is the
+// standard delta-correction approximation. Reprocessing is charged at
+// the normal processing rate.
+func (rt *taskRuntime) reprocessAmendment(from topology.TaskID, batch int, delta Batch) {
+	cost := rt.eng.cfg.PerBatchOverhead + sim.Time(float64(delta.Count)/rt.eng.cfg.ProcRate)
+	now := rt.eng.clock.Now()
+	start := maxTime(rt.busyUntil, now)
+	rt.busyUntil = start + cost
+	epoch := rt.epoch
+	rt.eng.clock.At(start+cost, func() {
+		if rt.failed || rt.epoch != epoch {
+			return
+		}
+		rt.procCPU += cost
+		op := rt.eng.operators[rt.opIdx](rt.taskIndex)
+		rt.beginEmit()
+		op.ProcessBatch(batch, rt.upOp[from], delta, rt)
+		op.OnBatchEnd(batch, rt)
+		rt.finishAmend(batch)
+	})
+}
+
+// finishAmend records or forwards the amendment output of one batch.
+// Amendments are delivered to every recipient — even when the delta is
+// empty — so the corrected-at mark reaches the sinks of all paths; they
+// are not buffered for replay (a later restore replays the original
+// tentative output, a documented approximation).
+func (rt *taskRuntime) finishAmend(batch int) {
+	if rt.eng.topo.IsSink(rt.opIdx) && !rt.isReplica {
+		rt.eng.recordSinkAmendment(rt.id, batch, rt.sinkOut, rt.sinkCount)
+	}
+	rt.sinkOut = nil
+	rt.sinkCount = 0
+	if rt.isReplica {
+		rt.emitting = nil
+		return
+	}
+	for i := range rt.routes {
+		r := &rt.routes[i]
+		for _, rec := range r.recipients {
+			var content Batch
+			if b := rt.emitting[rec]; b != nil {
+				content = *b
+			}
+			rt.eng.deliver(rt.id, rec, batch, content, delivery{amend: true})
 		}
 	}
 	rt.emitting = nil
@@ -355,7 +551,7 @@ func (rt *taskRuntime) emitSourceBatch(b int) {
 	} else {
 		rt.EmitCount(content.Count)
 	}
-	rt.finishEmit(b)
+	rt.finishEmit(b, false) // source data is always firm
 	rt.tupleProgress[rt.id] += int64(content.Count)
 	rt.nextBatch = b + 1
 	rt.processedBatch = b
@@ -388,7 +584,7 @@ func (rt *taskRuntime) resendAll() {
 		}
 		sort.Ints(batches)
 		for _, b := range batches {
-			rt.eng.deliver(rt.id, rec, b, buf[b], true, false)
+			rt.eng.deliver(rt.id, rec, b, buf[b], delivery{punct: true, tent: rt.tentOut[b]})
 			total += buf[b].Count
 		}
 	}
@@ -480,7 +676,7 @@ func (rt *taskRuntime) resendSince(since int) {
 		}
 		sort.Ints(batches)
 		for _, b := range batches {
-			rt.eng.deliver(rt.id, rec, b, buf[b], true, false)
+			rt.eng.deliver(rt.id, rec, b, buf[b], delivery{punct: true, tent: rt.tentOut[b]})
 			total += buf[b].Count
 		}
 	}
@@ -507,7 +703,20 @@ func (rt *taskRuntime) resetTo(batch int) {
 	rt.procScheduled = false
 	rt.staged = make(map[int]map[topology.TaskID]*Batch)
 	rt.puncts = make(map[int]map[topology.TaskID]bool)
-	rt.fabricated = make(map[int]bool)
+	rt.taintIn = make(map[int]map[topology.TaskID]bool)
+	// Batches at or above the rewind point are reprocessed from scratch;
+	// older tentative batches stay closed, so their owed-input records
+	// and tentative marks must survive for the correction layer.
+	for b := range rt.missIn {
+		if b >= batch {
+			delete(rt.missIn, b)
+		}
+	}
+	for b := range rt.tentOut {
+		if b >= batch {
+			delete(rt.tentOut, b)
+		}
+	}
 	rt.nextBatch = batch
 	rt.processedBatch = batch - 1
 	if rt.udf != nil {
@@ -539,15 +748,19 @@ func encodeInt(v int) []byte {
 	return b
 }
 
-func decodeInt(b []byte) int {
+// decodeInt decodes the 8-byte checkpoint payload of a source task. A
+// short payload is a corrupt or truncated checkpoint: restoring it
+// silently as batch 0 would disguise data loss as a cold start, so it
+// is reported as an explicit error.
+func decodeInt(b []byte) (int, error) {
 	if len(b) < 8 {
-		return 0
+		return 0, fmt.Errorf("engine: source checkpoint payload truncated: %d bytes, want 8", len(b))
 	}
 	var u uint64
 	for i := 0; i < 8; i++ {
 		u |= uint64(b[i]) << (8 * i)
 	}
-	return int(u)
+	return int(u), nil
 }
 
 func maxTime(a, b sim.Time) sim.Time {

@@ -16,6 +16,7 @@
 package engine
 
 import (
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -119,7 +120,14 @@ type SinkRecord struct {
 	Task  topology.TaskID
 	Batch int
 	Tuple Tuple
-	// Tentative marks outputs produced from a batch that was closed
-	// with at least one fabricated punctuation (incomplete input).
+	// Tentative marks outputs produced from a batch that closed with at
+	// least one fabricated or tentative punctuation (incomplete input
+	// anywhere upstream — the taint propagates to sinks at any depth).
 	Tentative bool
+	// Amendment marks a correction record: output produced by
+	// reprocessing the real data of a batch previously recorded
+	// tentative, emitted by the post-recovery correction layer.
+	Amendment bool
+	// At is the virtual time the record was observed.
+	At sim.Time
 }

@@ -11,12 +11,14 @@ import (
 // each placement policy, planner and burst model, an n-scenario
 // Monte-Carlo failure campaign runs on the medium random topology (the
 // paper's §VI-C baseline spec), and the p95 worst-task recovery latency
-// plus the mean relative output loss are reported. Where Figs. 7-8
-// replay the paper's two fixed injections (one node, all nodes), this
-// sweep covers the correlated-failure space in between: partial rack
-// bursts, whole-domain outages and cascading multi-domain failures.
-// Sweeping placements × planners puts the headline comparison on one
-// chart: domain-blind round-robin replica placement vs rack
+// plus the mean relative output loss are reported, alongside the
+// answer-quality axis: the mean tentative output fraction and the mean
+// corrected fraction of the tentative/correction pipeline. Where
+// Figs. 7-8 replay the paper's two fixed injections (one node, all
+// nodes), this sweep covers the correlated-failure space in between:
+// partial rack bursts, whole-domain outages and cascading multi-domain
+// failures. Sweeping placements × planners puts the headline comparison
+// on one chart: domain-blind round-robin replica placement vs rack
 // anti-affinity, and the worst-case planners vs the correlation-aware
 // *-corr variants. A nil placements slice sweeps both policies.
 func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int, seed int64) (Result, error) {
@@ -27,7 +29,7 @@ func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int,
 		Figure: "Fig. D",
 		Title:  fmt.Sprintf("Monte-Carlo failure-domain sweep (%d scenarios/cell)", n),
 		XLabel: "burst model",
-		YLabel: "p95 latency s / mean loss",
+		YLabel: "p95 latency s / mean loss / mean tentative / mean corrected",
 	}
 	topo, err := campaign.PresetTopology(campaign.TopoMedium, seed)
 	if err != nil {
@@ -37,7 +39,7 @@ func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int,
 		// One env per planner: the plan (and the failure-free baseline)
 		// is independent of replica placement, so the placement sweep
 		// reuses both via SetupFor.
-		env, err := campaign.NewEnv(campaign.EnvSpec{Topo: topo, Planner: planner})
+		env, err := campaign.NewEnv(campaign.EnvSpec{Topo: topo, Planner: planner, Tentative: true})
 		if err != nil {
 			return Result{}, err
 		}
@@ -50,6 +52,8 @@ func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int,
 			cell := planner + "/" + placement.String()
 			lat := Series{Name: cell + "-p95"}
 			loss := Series{Name: cell + "-loss"}
+			tent := Series{Name: cell + "-tent"}
+			corr := Series{Name: cell + "-corr"}
 			for _, model := range campaign.Models {
 				scenarios, err := campaign.Generate(sample, campaign.GenSpec{
 					Seed:        seed,
@@ -72,8 +76,10 @@ func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int,
 				baseline = rep.BaselineSinkTuples
 				lat.Points = append(lat.Points, Point{X: model.String(), Y: rep.Summary.Latency.P95})
 				loss.Points = append(loss.Points, Point{X: model.String(), Y: rep.Summary.Loss.Mean})
+				tent.Points = append(tent.Points, Point{X: model.String(), Y: rep.Summary.TentativeFrac.Mean})
+				corr.Points = append(corr.Points, Point{X: model.String(), Y: rep.Summary.CorrectedFrac.Mean})
 			}
-			res.Series = append(res.Series, lat, loss)
+			res.Series = append(res.Series, lat, loss, tent, corr)
 		}
 	}
 	return res, nil

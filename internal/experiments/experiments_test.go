@@ -246,17 +246,17 @@ func abs(x float64) float64 {
 var _ = engine.StrategyActive // keep the import for the technique table
 
 // TestDomainSweepShape runs a small Monte-Carlo domain sweep and checks
-// its structure: one latency and one loss series per placement ×
-// planner cell, one point per burst model, and the paper's qualitative
-// expectation that bigger blast radii do not recover faster than
-// single-node failures.
+// its structure: latency, loss, tentative-fraction and
+// corrected-fraction series per placement × planner cell, one point per
+// burst model, and the paper's qualitative expectation that bigger
+// blast radii do not recover faster than single-node failures.
 func TestDomainSweepShape(t *testing.T) {
 	r, err := DomainSweep([]string{"sa", "greedy"}, []cluster.PlacementPolicy{cluster.PlacementAntiAffinity}, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Series) != 4 {
-		t.Fatalf("%d series, want 4 (%v)", len(r.Series), names(r))
+	if len(r.Series) != 8 {
+		t.Fatalf("%d series, want 8 (%v)", len(r.Series), names(r))
 	}
 	for _, s := range r.Series {
 		if len(s.Points) != 4 {

@@ -303,8 +303,15 @@ type SourceFactory = engine.SourceFactory
 // FuncSource adapts a function to SourceFunc.
 type FuncSource = engine.FuncSource
 
-// SinkRecord is one output tuple observed at a sink task.
+// SinkRecord is one output tuple observed at a sink task. Tentative
+// marks output computed from incomplete input anywhere upstream;
+// Amendment marks a post-recovery correction record.
 type SinkRecord = engine.SinkRecord
+
+// AccuracyStats summarises the tentative/correction lifecycle of a
+// run's sink output: firm vs tentative volume, corrected batches and
+// per-batch time-to-correction (Engine.AccuracyStats).
+type AccuracyStats = engine.AccuracyStats
 
 // RecoveryStat records one task failure's detection and recovery.
 type RecoveryStat = engine.RecoveryStat
@@ -372,7 +379,8 @@ func GenerateScenarios(c *Cluster, spec ScenarioSpec) ([]FailureScenario, error)
 type CampaignConfig = campaign.Config
 
 // CampaignReport is the outcome of a campaign: per-scenario results
-// plus aggregated recovery-latency and output-loss distributions.
+// plus aggregated recovery-latency, output-loss and answer-quality
+// (tentative/corrected fraction, time-to-correction) distributions.
 type CampaignReport = campaign.Report
 
 // CampaignSummary aggregates a campaign (mean/p50/p95/p99).
