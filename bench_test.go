@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/plan"
 	"repro/internal/randtopo"
@@ -363,5 +364,89 @@ func BenchmarkParallelSearch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Engine / campaign hot-path benchmarks ---
+
+// hotPathEnv builds the standard hot-path benchmark environment: the
+// medium preset topology under the greedy plan with tentative outputs.
+func hotPathEnv(b *testing.B) *campaign.Env {
+	topo, err := campaign.PresetTopology(campaign.TopoMedium, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := campaign.NewEnv(campaign.EnvSpec{Topo: topo, Planner: "greedy", Tentative: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkEngineHotPath measures one failure-free engine simulation
+// end to end (setup, 60 virtual seconds of batches, checkpoints and
+// trims). Run with -benchmem: allocs/op is the headline number of the
+// allocation-free kernel + dense task-state work, and CI gates on it.
+func BenchmarkEngineHotPath(b *testing.B) {
+	env := hotPathEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := env.Setup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.New(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run(60)
+		if e.SinkTupleCount() == 0 {
+			b.Fatal("no sink output")
+		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures Monte-Carlo campaign throughput
+// in scenarios/sec: a domain+cascade campaign over the medium topology
+// on the full worker pool, the regime every evaluation figure is
+// regenerated in.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	env := hotPathEnv(b)
+	sample, err := env.Cluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scs []campaign.Scenario
+	for _, m := range []campaign.Model{campaign.WholeDomain, campaign.Cascade} {
+		s, err := campaign.Generate(sample, campaign.GenSpec{
+			Seed:        7,
+			Scenarios:   8,
+			Model:       m,
+			Correlation: campaign.DefaultCorrelation,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scs = append(scs, s...)
+	}
+	baseline := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(campaign.Config{
+			Setup:     env.Setup,
+			Scenarios: scs,
+			Horizon:   90,
+			Baseline:  baseline,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline = rep.BaselineSinkTuples
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(scs))/secs, "scenarios/s")
 	}
 }

@@ -5,14 +5,22 @@
 // the bench-smoke run through it to publish a BENCH_<sha>.json artifact,
 // giving the repo a machine-readable perf trajectory across commits.
 //
+// With -check, benchjson additionally gates allocation regressions: it
+// loads a committed baseline (a benchjson JSON file) and exits non-zero
+// when a benchmark present in both runs reports more than -max-regress
+// (default 0.20 = +20%) allocs/op over its baseline. Allocations are
+// deterministic enough to gate in CI, unlike wall-clock ns/op.
+//
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH_abc123.json
+//	go test -bench=EngineHotPath -benchmem -benchtime=3x -run='^$' . | benchjson -check bench_baseline.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -30,6 +38,10 @@ type Record struct {
 }
 
 func main() {
+	check := flag.String("check", "", "baseline benchjson JSON file to gate allocs/op regressions against")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum tolerated relative allocs/op regression vs the -check baseline")
+	flag.Parse()
+
 	records, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -41,6 +53,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *check != "" {
+		if err := gate(records, *check, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// gate compares allocs/op of the current records against the baseline
+// file and fails on a regression beyond maxRegress. Benchmarks missing
+// on either side are skipped (the baseline pins selected benchmarks,
+// not the whole suite); a baseline entry without allocs/op carries no
+// allocation gate.
+func gate(records []Record, baselinePath string, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline []Record
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	current := make(map[string]Record, len(records))
+	for _, r := range records {
+		current[r.Name] = r
+	}
+	checked := 0
+	for _, b := range baseline {
+		if b.AllocsPerOp <= 0 {
+			continue
+		}
+		r, ok := current[b.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		limit := b.AllocsPerOp * (1 + maxRegress)
+		if r.AllocsPerOp > limit {
+			return fmt.Errorf("%s allocs/op regressed: %.0f vs baseline %.0f (limit %.0f, +%.0f%%)",
+				b.Name, r.AllocsPerOp, b.AllocsPerOp, limit, 100*(r.AllocsPerOp/b.AllocsPerOp-1))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op %.0f within %.0f%% of baseline %.0f\n",
+			b.Name, r.AllocsPerOp, 100*maxRegress, b.AllocsPerOp)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no benchmark in the run matched a gated baseline entry in %s", baselinePath)
+	}
+	return nil
 }
 
 // parse extracts benchmark lines of the form

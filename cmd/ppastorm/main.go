@@ -13,11 +13,16 @@
 //	ppastorm -topos small,medium,large -models domain,cascade -format csv
 //	ppastorm -scenarios 200 -correlation 0.8 -format json -o sweep.json
 //	ppastorm -placement anti-affinity,round-robin -planners sa,sa-corr
+//	ppastorm -scenarios 500 -cpuprofile cpu.out -memprofile mem.out
 //
 // Sweeping -placement and the *-corr planners prints a head-to-head
 // table: domain-blind round-robin replica placement vs rack
 // anti-affinity, and the worst-case objective vs the correlation-aware
 // one.
+//
+// -cpuprofile / -memprofile write pprof profiles of the sweep, so
+// campaign hot spots can be inspected with `go tool pprof` without a
+// throwaway harness.
 package main
 
 import (
@@ -28,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -77,8 +84,35 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential")
 		format      = flag.String("format", "table", "output format: table, json, csv")
 		out         = flag.String("o", "", "output file (default stdout)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof allocation profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	// Render into a buffer and write the destination file only after
 	// the whole sweep succeeded, so a failing run never truncates the
@@ -107,6 +141,10 @@ func main() {
 	}
 
 	var rows []row
+	// The failure-free baseline depends only on (topology, planner,
+	// horizon) — not on placement or burst model — so one cached
+	// baseline simulation serves every cell of a (topo, planner) sweep.
+	baselines := campaign.NewBaselineCache()
 	for _, topoName := range splitList(*topos) {
 		topo, err := campaign.PresetTopology(topoName, *topoSeed)
 		if err != nil {
@@ -135,7 +173,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			baseline := 0
+			baseKey := topoName + "/" + name
 			for _, placement := range placementList {
 				for _, model := range modelList {
 					scs, err := campaign.Generate(sample, campaign.GenSpec{
@@ -150,16 +188,16 @@ func main() {
 					}
 					start := time.Now()
 					rep, err := campaign.Run(campaign.Config{
-						Setup:     env.SetupFor(placement),
-						Scenarios: scs,
-						Horizon:   sim.Time(*horizon),
-						Workers:   *workers,
-						Baseline:  baseline,
+						Setup:       env.SetupFor(placement),
+						Scenarios:   scs,
+						Horizon:     sim.Time(*horizon),
+						Workers:     *workers,
+						Baselines:   baselines,
+						BaselineKey: baseKey,
 					})
 					if err != nil {
 						fatal(err)
 					}
-					baseline = rep.BaselineSinkTuples
 					rows = append(rows, row{
 						Topology:         topoName,
 						Planner:          name,
@@ -311,6 +349,10 @@ func writeHeadToHead(w io.Writer, rows []row) {
 }
 
 func fatal(err error) {
+	// os.Exit skips the deferred profile teardown in main: flush the
+	// CPU profile here so a failed profiled sweep still leaves a
+	// readable file. A no-op when profiling is off.
+	pprof.StopCPUProfile()
 	fmt.Fprintln(os.Stderr, "ppastorm:", err)
 	os.Exit(1)
 }

@@ -3,7 +3,9 @@ package campaign
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/par"
@@ -11,13 +13,19 @@ import (
 )
 
 // Config describes one campaign: N scenarios run as independent engine
-// simulations against fresh instances of the same environment.
+// simulations against instances of the same environment. By default the
+// runner keeps one engine per worker and engine.Reset()s it between
+// scenarios instead of rebuilding the environment per simulation;
+// Reset is bit-identical to a fresh Setup, so results do not depend on
+// which path (or worker) ran a scenario.
 type Config struct {
 	// Setup returns a fresh engine setup for one simulation. It must be
 	// safe for concurrent calls and must rebuild anything a run mutates
 	// (in particular the cluster — failure flags are per-run state);
 	// the node IDs and failure-domain layout must be identical across
-	// calls so that scenario node sets stay meaningful.
+	// calls so that scenario node sets stay meaningful. The source and
+	// operator factories must return equivalent fresh instances on
+	// every call — engine reuse resets engines through those factories.
 	Setup func() (engine.Setup, error)
 	// Scenarios to execute, typically from Generate.
 	Scenarios []Scenario
@@ -31,8 +39,58 @@ type Config struct {
 	// measured against; 0 runs one baseline simulation. The baseline
 	// depends only on Setup and Horizon, so sweeps sharing both (e.g.
 	// the same planner over several burst models) can reuse the
-	// BaselineSinkTuples of an earlier Report.
+	// BaselineSinkTuples of an earlier Report — or, more conveniently,
+	// share a BaselineCache.
 	Baseline int
+	// Baselines, when set together with BaselineKey, memoizes the
+	// failure-free baseline volume per (BaselineKey, Horizon) across
+	// campaigns: sweep cells sharing a Setup and horizon run the
+	// baseline simulation once instead of once per cell. Ignored when
+	// Baseline is non-zero.
+	Baselines *BaselineCache
+	// BaselineKey identifies the Setup in the BaselineCache. Callers
+	// must choose keys so that equal keys imply baseline-equivalent
+	// Setups (same topology, workload and engine config; placement and
+	// failure model do not affect the failure-free baseline).
+	BaselineKey string
+	// DisableReuse forces a fresh Setup + engine.New per scenario
+	// instead of resetting per-worker engines — the fallback for
+	// environments whose factories are not safely reusable (e.g.
+	// closures over shared mutable state). The determinism test pins
+	// that both paths produce bit-identical reports.
+	DisableReuse bool
+}
+
+// BaselineCache memoizes failure-free baseline sink volumes per
+// (key, horizon) across campaigns. Safe for concurrent use.
+type BaselineCache struct {
+	mu sync.Mutex
+	m  map[baselineKey]int
+}
+
+type baselineKey struct {
+	key     string
+	horizon sim.Time
+}
+
+// NewBaselineCache returns an empty cache.
+func NewBaselineCache() *BaselineCache {
+	return &BaselineCache{m: make(map[baselineKey]int)}
+}
+
+// Get returns the cached baseline for (key, horizon), if any.
+func (c *BaselineCache) Get(key string, horizon sim.Time) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[baselineKey{key, horizon}]
+	return v, ok
+}
+
+// Put stores the baseline for (key, horizon).
+func (c *BaselineCache) Put(key string, horizon sim.Time, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[baselineKey{key, horizon}] = v
 }
 
 // ScenarioResult is the outcome of one simulated scenario.
@@ -149,20 +207,40 @@ func Run(cfg Config) (*Report, error) {
 	if horizon == 0 {
 		horizon = 120
 	}
+	// One engine per worker, reset between scenarios. A buffered channel
+	// serves as the free list: a worker takes any idle engine (Reset
+	// makes them interchangeable) and falls back to a fresh Setup when
+	// none is idle yet.
+	var pool chan *engine.Engine
+	if !cfg.DisableReuse {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		pool = make(chan *engine.Engine, workers)
+	}
 	base := cfg.Baseline
+	if base == 0 && cfg.Baselines != nil && cfg.BaselineKey != "" {
+		if v, ok := cfg.Baselines.Get(cfg.BaselineKey, horizon); ok {
+			base = v
+		}
+	}
 	if base == 0 {
-		baseline, err := runOne(cfg.Setup, nil, horizon)
+		baseline, err := runOne(cfg.Setup, pool, nil, horizon)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: baseline run: %w", err)
 		}
 		base = baseline.SinkTuples
+		if cfg.Baselines != nil && cfg.BaselineKey != "" {
+			cfg.Baselines.Put(cfg.BaselineKey, horizon, base)
+		}
 	}
 
 	results := make([]ScenarioResult, len(cfg.Scenarios))
 	errs := make([]error, len(cfg.Scenarios))
 	par.Each(len(cfg.Scenarios), cfg.Workers, func(i int) {
 		sc := cfg.Scenarios[i]
-		r, err := runOne(cfg.Setup, sc.Waves, horizon)
+		r, err := runOne(cfg.Setup, pool, sc.Waves, horizon)
 		if err != nil {
 			errs[i] = fmt.Errorf("campaign: scenario %d (%s): %w", sc.Index, sc.Label, err)
 			return
@@ -185,20 +263,41 @@ func Run(cfg Config) (*Report, error) {
 	}, nil
 }
 
-// runOne executes one simulation with the given failure waves.
-func runOne(setup func() (engine.Setup, error), waves []Wave, horizon sim.Time) (ScenarioResult, error) {
-	s, err := setup()
-	if err != nil {
-		return ScenarioResult{}, err
+// runOne executes one simulation with the given failure waves, taking a
+// reusable engine from the pool (resetting it) when one is idle and
+// returning it afterwards; with a nil pool every run builds a fresh
+// environment.
+func runOne(setup func() (engine.Setup, error), pool chan *engine.Engine, waves []Wave, horizon sim.Time) (ScenarioResult, error) {
+	var e *engine.Engine
+	if pool != nil {
+		select {
+		case e = <-pool:
+			e.Reset()
+		default:
+		}
 	}
-	e, err := engine.New(s)
-	if err != nil {
-		return ScenarioResult{}, err
+	if e == nil {
+		s, err := setup()
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		e, err = engine.New(s)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
 	}
 	for _, w := range waves {
 		e.ScheduleNodeFailures(w.Nodes, w.At)
 	}
 	e.Run(horizon)
+	defer func() {
+		if pool != nil {
+			select {
+			case pool <- e:
+			default:
+			}
+		}
+	}()
 	res := ScenarioResult{Recovered: true, SinkTuples: e.SinkTupleCount()}
 	acc := e.AccuracyStats()
 	res.TentativeFrac = acc.TentativeFraction()

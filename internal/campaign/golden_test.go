@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// goldenHash reduces a campaign Report to a canonical digest covering
+// every per-scenario outcome the campaign reports (recovery latency,
+// output loss, tentative/corrected fractions, correction delays) plus
+// the baseline volume. Floats are formatted with strconv 'g'/-1, the
+// shortest exact representation, so two reports hash equal iff they are
+// bit-identical.
+func goldenHash(rep *Report) string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	h := sha256.New()
+	fmt.Fprintf(h, "baseline=%d\n", rep.BaselineSinkTuples)
+	for _, r := range rep.Results {
+		fmt.Fprintf(h, "%d|%s|%s|failed=%d|rec=%v|lat=%s|sink=%d|loss=%s|tent=%s|corr=%s|delays=",
+			r.Scenario.Index, r.Scenario.Model, r.Scenario.Label,
+			r.FailedTasks, r.Recovered, f(float64(r.WorstLatency)),
+			r.SinkTuples, f(r.OutputLoss), f(r.TentativeFrac), f(r.CorrectedFrac))
+		for _, d := range r.CorrectionDelays {
+			fmt.Fprintf(h, "%s,", f(d))
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goldenCampaign builds the fixed campaign the determinism test hashes:
+// the medium preset topology under the greedy plan with tentative
+// outputs on, swept with domain and cascade bursts.
+func goldenCampaign(t *testing.T) (*Env, []Scenario) {
+	t.Helper()
+	topo, err := PresetTopology(TopoMedium, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(EnvSpec{Topo: topo, Planner: "greedy", Tentative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scs []Scenario
+	for _, m := range []Model{WholeDomain, Cascade} {
+		s, err := Generate(sample, GenSpec{
+			Seed:        7,
+			Scenarios:   6,
+			Model:       m,
+			Correlation: DefaultCorrelation,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scs = append(scs, s...)
+	}
+	return env, scs
+}
+
+// goldenWant is the report digest of the pre-refactor engine (computed
+// on main before the allocation-free kernel/dense-state/Reset rework)
+// for the goldenCampaign configuration. Any engine change that alters a
+// single reported bit for fixed seeds changes this hash.
+const goldenWant = "037ed8e09f269984edd39fbe4213b524b9747a358f3b54ae99dfd464c8f7c381"
+
+// TestGoldenReportHash pins campaign determinism end to end: the
+// report must be bit-identical to the pre-refactor engine's for every
+// combination of worker count (sequential vs full pool) and engine
+// reuse (per-worker Reset vs fresh Setup per scenario).
+func TestGoldenReportHash(t *testing.T) {
+	env, scs := goldenCampaign(t)
+	cases := []struct {
+		name         string
+		workers      int
+		disableReuse bool
+	}{
+		{"workers=1/reset", 1, false},
+		{"workers=1/fresh-setup", 1, true},
+		{"workers=max/reset", 0, false},
+		{"workers=max/fresh-setup", 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep, err := Run(Config{
+				Setup:        env.Setup,
+				Scenarios:    scs,
+				Horizon:      90,
+				Workers:      c.workers,
+				DisableReuse: c.disableReuse,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := goldenHash(rep); got != goldenWant {
+				t.Fatalf("golden hash = %s, want %s", got, goldenWant)
+			}
+		})
+	}
+}
+
+// TestBaselineCache verifies baseline memoization: two campaigns
+// sharing a key and horizon run the baseline once, keys and horizons
+// are distinguished, and the cached report equals the uncached one.
+func TestBaselineCache(t *testing.T) {
+	env, scs := goldenCampaign(t)
+	cache := NewBaselineCache()
+	cfg := Config{
+		Setup:       env.Setup,
+		Scenarios:   scs[:3],
+		Horizon:     90,
+		Workers:     1,
+		Baselines:   cache,
+		BaselineKey: "golden",
+	}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := cache.Get("golden", 90)
+	if !ok || cached != first.BaselineSinkTuples {
+		t.Fatalf("cache holds (%d, %v), want %d", cached, ok, first.BaselineSinkTuples)
+	}
+	if _, ok := cache.Get("golden", 120); ok {
+		t.Fatal("cache hit for a different horizon")
+	}
+	if _, ok := cache.Get("other", 90); ok {
+		t.Fatal("cache hit for a different key")
+	}
+	// Poison the cache entry: a second run must trust the cache (no
+	// baseline re-run) and measure loss against the poisoned volume.
+	cache.Put("golden", 90, first.BaselineSinkTuples*2)
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.BaselineSinkTuples != first.BaselineSinkTuples*2 {
+		t.Fatalf("second run baseline = %d, want cached %d",
+			second.BaselineSinkTuples, first.BaselineSinkTuples*2)
+	}
+	// An explicit Baseline takes precedence over the cache.
+	cfg.Baseline = first.BaselineSinkTuples
+	third, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.BaselineSinkTuples != first.BaselineSinkTuples {
+		t.Fatalf("explicit baseline ignored: %d", third.BaselineSinkTuples)
+	}
+}

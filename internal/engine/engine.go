@@ -41,22 +41,41 @@ type Engine struct {
 
 	tasks    []*taskRuntime // current primary incarnation per task
 	replicas []*taskRuntime // active replica per task (nil if none)
+	// prim and repl are the immortal runtime objects built at New:
+	// recovery may point tasks/replicas at fresh incarnations, but
+	// Reset always restores (and reuses) these originals.
+	prim []*taskRuntime
+	repl []*taskRuntime
 
 	master *master
 	store  map[topology.TaskID]*checkpointData
 
-	sinks        []SinkRecord
-	sinkTuples   int // total tuples (materialised + counted) seen at sinks
-	sinkAcct     map[sinkKey]*sinkBatchAcct
+	sinks      []SinkRecord
+	sinkTuples int // total tuples (materialised + counted) seen at sinks
+	// sinkIdx/sinkAcct are the per-(sink task, batch) accounting arena:
+	// the map holds indexes into the slice so batch accounting never
+	// heap-allocates per record.
+	sinkIdx      map[sinkKey]int32
+	sinkAcct     []sinkBatchAcct
 	currentBatch int // last batch emitted by the source ticker
 	horizon      sim.Time
+
+	// Hot-path object pools, all single-threaded like the simulation:
+	// staged-input tuple backings, batch-completion events, delivery
+	// events and checkpoint-trim notifications are recycled instead of
+	// allocated per event.
+	tuples    tuplePool
+	procFree  []*procEvent
+	delivFree []*deliveryEvent
+	trimFree  []*trimEvent
 }
 
 // checkpointData is one stored checkpoint: computation state plus the
 // output buffer (§II-B), the tentative marks of the buffered batches
 // and the record of still-owed (fabricated) inputs, so a restored task
 // keeps accepting the late corrections of batches it closed tentative
-// before the snapshot.
+// before the snapshot. The object (and its maps and state buffer) is
+// recycled in place when the task's next checkpoint replaces it.
 type checkpointData struct {
 	batch   int
 	state   []byte
@@ -103,7 +122,7 @@ func New(s Setup) (*Engine, error) {
 		sources:   s.Sources,
 		operators: s.Operators,
 		store:     make(map[topology.TaskID]*checkpointData),
-		sinkAcct:  make(map[sinkKey]*sinkBatchAcct),
+		sinkIdx:   make(map[sinkKey]int32),
 	}
 	if e.clus == nil {
 		e.clus = cluster.New(1, 1)
@@ -134,12 +153,16 @@ func New(s Setup) (*Engine, error) {
 	}
 	e.tasks = make([]*taskRuntime, n)
 	e.replicas = make([]*taskRuntime, n)
+	e.prim = make([]*taskRuntime, n)
+	e.repl = make([]*taskRuntime, n)
 	var replicated []topology.TaskID
 	for id := 0; id < n; id++ {
 		tid := topology.TaskID(id)
-		e.tasks[id] = newTaskRuntime(e, tid, false)
+		e.prim[id] = newTaskRuntime(e, tid, false)
+		e.tasks[id] = e.prim[id]
 		if e.strategy[id] == StrategyActive {
-			e.replicas[id] = newTaskRuntime(e, tid, true)
+			e.repl[id] = newTaskRuntime(e, tid, true)
+			e.replicas[id] = e.repl[id]
 			if _, ok := e.clus.ReplicaNodeOf(tid); !ok {
 				replicated = append(replicated, tid)
 			}
@@ -151,15 +174,54 @@ func New(s Setup) (*Engine, error) {
 		}
 	}
 	e.master = newMaster(e)
-	// Arm the self-perpetuating tickers once; Run only advances the
-	// clock, so ticker events beyond the horizon simply wait.
+	e.armTickers()
+	return e, nil
+}
+
+// armTickers arms the self-perpetuating tickers once; Run only advances
+// the clock, so ticker events beyond the horizon simply wait.
+func (e *Engine) armTickers() {
 	e.scheduleBatchTick(0)
 	e.scheduleHeartbeat(e.cfg.HeartbeatInterval)
 	if e.cfg.CheckpointInterval > 0 {
 		e.scheduleCheckpoints()
 	}
 	e.scheduleReplicaTrims()
-	return e, nil
+}
+
+// Reset returns the engine to its failure-free initial state at virtual
+// time zero, reusing the routing, buffers and pools built by New: the
+// clock is cleared, every task gets a pristine incarnation with fresh
+// operator/source instances from the factories, checkpoints and sink
+// accounting are dropped, and the cluster's failure flags are cleared
+// (placement is kept). A reset engine runs bit-identically to a freshly
+// constructed one for the same Setup, so Monte-Carlo campaigns reuse
+// one engine per worker instead of rebuilding the environment per
+// scenario. Reset assumes the Setup's factories return equivalent fresh
+// instances on every call — the same property a fresh Setup per
+// scenario relies on.
+func (e *Engine) Reset() {
+	e.clock.Reset()
+	e.clus.Reset()
+	for id := range e.tasks {
+		e.prim[id].resetVolatile(false)
+		e.tasks[id] = e.prim[id]
+		if rep := e.repl[id]; rep != nil {
+			rep.resetVolatile(true)
+			e.replicas[id] = rep
+		} else {
+			e.replicas[id] = nil
+		}
+	}
+	e.master.reset()
+	clear(e.store)
+	e.sinks = e.sinks[:0]
+	e.sinkTuples = 0
+	clear(e.sinkIdx)
+	e.sinkAcct = e.sinkAcct[:0]
+	e.currentBatch = 0
+	e.horizon = 0
+	e.armTickers()
 }
 
 // Clock exposes the virtual clock (to schedule custom events in tests
@@ -183,18 +245,60 @@ func (e *Engine) PPAPlanTasks() []topology.TaskID {
 	return out
 }
 
-// deliver schedules the delivery of a batch fragment (and punctuation)
-// from one task to another after the network delay. The current primary
-// incarnation and the replica of the destination both receive it.
+// deliveryEvent is the pooled delivery of one batch fragment (and
+// punctuation) between tasks. Delivery events are never cancelled, so
+// recycling on fire is safe.
+type deliveryEvent struct {
+	e        *Engine
+	from, to topology.TaskID
+	batch    int
+	content  Batch
+	d        delivery
+}
+
+// Run implements sim.Runner: the delivery fires after the network
+// delay; the current primary incarnation and the replica of the
+// destination both receive it.
+func (de *deliveryEvent) Run() {
+	e, from, to, batch, content, d := de.e, de.from, de.to, de.batch, de.content, de.d
+	de.content = Batch{} // drop the tuple reference while pooled
+	e.delivFree = append(e.delivFree, de)
+	if rt := e.tasks[to]; rt != nil {
+		rt.receive(from, batch, content, d)
+	}
+	if rep := e.replicas[to]; rep != nil {
+		rep.receive(from, batch, content, d)
+	}
+}
+
+// deliver schedules the delivery of a batch fragment from one task to
+// another after the network delay, on a pooled event.
 func (e *Engine) deliver(from, to topology.TaskID, batch int, content Batch, d delivery) {
-	e.clock.After(e.cfg.NetDelay, func() {
-		if rt := e.tasks[to]; rt != nil {
-			rt.receive(from, batch, content, d)
-		}
-		if rep := e.replicas[to]; rep != nil {
-			rep.receive(from, batch, content, d)
-		}
-	})
+	var de *deliveryEvent
+	if n := len(e.delivFree); n > 0 {
+		de = e.delivFree[n-1]
+		e.delivFree[n-1] = nil
+		e.delivFree = e.delivFree[:n-1]
+	} else {
+		de = &deliveryEvent{}
+	}
+	de.e, de.from, de.to, de.batch, de.content, de.d = e, from, to, batch, content, d
+	e.clock.AfterRun(e.cfg.NetDelay, de)
+}
+
+func (e *Engine) getProcEvent() *procEvent {
+	if n := len(e.procFree); n > 0 {
+		pe := e.procFree[n-1]
+		e.procFree[n-1] = nil
+		e.procFree = e.procFree[:n-1]
+		return pe
+	}
+	return &procEvent{}
+}
+
+func (e *Engine) putProcEvent(pe *procEvent) {
+	pe.rt = nil
+	e.procFree = append(e.procFree, pe)
 }
 
 // Run advances the simulation to the given virtual time, driving source
@@ -267,28 +371,48 @@ func (e *Engine) scheduleCheckpoint(id topology.TaskID, at sim.Time) {
 
 // takeCheckpoint snapshots one task's state and output buffer, charges
 // the save cost, stores the checkpoint on the standby store and asks the
-// upstream tasks to trim their output buffers (§II-B, §V-B).
+// upstream tasks to trim their output buffers (§II-B, §V-B). The task's
+// previous checkpointData (maps and state buffer) is recycled in place:
+// once replaced it can never be restored again.
 func (e *Engine) takeCheckpoint(id topology.TaskID) {
 	rt := e.tasks[id]
 	if rt == nil || rt.failed {
 		return
 	}
-	state := rt.snapshotState()
-	outCopy := make(map[topology.TaskID]map[int]Batch, len(rt.outBuf))
-	bytes := len(state)
+	ck := e.store[id]
+	if ck == nil {
+		ck = &checkpointData{
+			outBuf:  make(map[topology.TaskID]map[int]Batch, len(rt.outBuf)),
+			tentOut: make(map[int]bool),
+			missIn:  make(map[int]map[topology.TaskID]bool),
+		}
+		e.store[id] = ck
+	}
+	ck.state = rt.snapshotState(ck.state)
+	bytes := len(ck.state)
 	for d, buf := range rt.outBuf {
-		m := make(map[int]Batch, len(buf))
+		m := ck.outBuf[d]
+		if m == nil {
+			m = make(map[int]Batch, len(buf))
+			ck.outBuf[d] = m
+		} else {
+			clear(m)
+		}
 		for b, content := range buf {
 			m[b] = content
 			bytes += content.Count * 16 // buffered tuples are part of the checkpoint payload
 		}
-		outCopy[d] = m
 	}
-	tentCopy := make(map[int]bool, len(rt.tentOut))
+	for d, m := range ck.outBuf {
+		if _, live := rt.outBuf[d]; !live {
+			clear(m)
+		}
+	}
+	clear(ck.tentOut)
 	for b, t := range rt.tentOut {
-		tentCopy[b] = t
+		ck.tentOut[b] = t
 	}
-	missCopy := make(map[int]map[topology.TaskID]bool, len(rt.missIn))
+	clear(ck.missIn)
 	for b, owed := range rt.missIn {
 		if b > rt.processedBatch {
 			continue // open batches are re-staged from scratch on restore
@@ -297,27 +421,52 @@ func (e *Engine) takeCheckpoint(id topology.TaskID) {
 		for u, v := range owed {
 			m[u] = v
 		}
-		missCopy[b] = m
+		ck.missIn[b] = m
 	}
+	ck.batch = rt.processedBatch
+	ck.bytes = bytes
 	cost := e.cfg.CheckpointFixed + sim.Time(float64(bytes)/e.cfg.CheckpointByteRate)
 	rt.busyUntil = maxTime(rt.busyUntil, e.clock.Now()) + cost
 	rt.ckptCPU += cost
-	e.store[id] = &checkpointData{batch: rt.processedBatch, state: state, outBuf: outCopy, tentOut: tentCopy, missIn: missCopy, bytes: bytes}
 
 	// Notify upstream neighbours (and their replicas, which hold the
 	// same buffers) to trim their buffers for this task.
-	ck := rt.processedBatch
 	for _, u := range rt.upstreams {
-		u := u
-		e.clock.After(e.cfg.NetDelay, func() {
-			if up := e.tasks[u]; up != nil && !up.failed {
-				up.trimFor(id, ck)
-			}
-			if rep := e.replicas[u]; rep != nil && !rep.failed {
-				rep.trimFor(id, ck)
-			}
-		})
+		e.scheduleTrim(u, id, rt.processedBatch)
 	}
+}
+
+// trimEvent is the pooled trim notification of one upstream task after
+// a downstream checkpoint.
+type trimEvent struct {
+	e        *Engine
+	up, down topology.TaskID
+	ck       int
+}
+
+// Run implements sim.Runner.
+func (te *trimEvent) Run() {
+	e, up, down, ck := te.e, te.up, te.down, te.ck
+	e.trimFree = append(e.trimFree, te)
+	if u := e.tasks[up]; u != nil && !u.failed {
+		u.trimFor(down, ck)
+	}
+	if rep := e.replicas[up]; rep != nil && !rep.failed {
+		rep.trimFor(down, ck)
+	}
+}
+
+func (e *Engine) scheduleTrim(up, down topology.TaskID, ck int) {
+	var te *trimEvent
+	if n := len(e.trimFree); n > 0 {
+		te = e.trimFree[n-1]
+		e.trimFree[n-1] = nil
+		e.trimFree = e.trimFree[:n-1]
+	} else {
+		te = &trimEvent{}
+	}
+	te.e, te.up, te.down, te.ck = e, up, down, ck
+	e.clock.AfterRun(e.cfg.NetDelay, te)
 }
 
 // scheduleReplicaTrims arms the periodic primary->replica progress acks.
@@ -449,22 +598,24 @@ func (e *Engine) recordSinkBatch(task topology.TaskID, batch int, tuples []Tuple
 	total := len(tuples) + extra
 	key := sinkKey{task: task, batch: batch}
 	now := e.clock.Now()
-	a := e.sinkAcct[key]
-	if a == nil {
-		e.sinkAcct[key] = &sinkBatchAcct{
+	idx, ok := e.sinkIdx[key]
+	if !ok {
+		e.sinkIdx[key] = int32(len(e.sinkAcct))
+		e.sinkAcct = append(e.sinkAcct, sinkBatchAcct{
 			count:        total,
 			firstCount:   total,
 			tentative:    tentative,
 			wasTentative: tentative,
 			firstAt:      now,
 			correctedAt:  -1,
-		}
+		})
 		e.sinkTuples += total
 		for _, t := range tuples {
 			e.sinks = append(e.sinks, SinkRecord{Task: task, Batch: batch, Tuple: t, Tentative: tentative, At: now})
 		}
 		return
 	}
+	a := &e.sinkAcct[idx]
 	if a.tentative && !tentative {
 		e.sinkTuples += total - a.count
 		a.count = total
@@ -481,8 +632,12 @@ func (e *Engine) recordSinkBatch(task topology.TaskID, batch int, tuples []Tuple
 // batch gains (or refreshes) its corrected-at timestamp. Amendments for
 // batches never recorded tentative are replay duplicates and ignored.
 func (e *Engine) recordSinkAmendment(task topology.TaskID, batch int, tuples []Tuple, extra int) {
-	a := e.sinkAcct[sinkKey{task: task, batch: batch}]
-	if a == nil || !a.wasTentative {
+	idx, ok := e.sinkIdx[sinkKey{task: task, batch: batch}]
+	if !ok {
+		return
+	}
+	a := &e.sinkAcct[idx]
+	if !a.wasTentative {
 		return
 	}
 	total := len(tuples) + extra
@@ -551,8 +706,8 @@ func (s AccuracyStats) CorrectedFraction() float64 {
 // AccuracyStats aggregates the per-(task, batch) sink accounting in
 // deterministic (task, batch) order.
 func (e *Engine) AccuracyStats() AccuracyStats {
-	keys := make([]sinkKey, 0, len(e.sinkAcct))
-	for k := range e.sinkAcct {
+	keys := make([]sinkKey, 0, len(e.sinkIdx))
+	for k := range e.sinkIdx {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -563,7 +718,7 @@ func (e *Engine) AccuracyStats() AccuracyStats {
 	})
 	var s AccuracyStats
 	for _, k := range keys {
-		a := e.sinkAcct[k]
+		a := &e.sinkAcct[e.sinkIdx[k]]
 		if !a.wasTentative {
 			s.FirmBatches++
 			s.FirmTuples += a.firstCount

@@ -104,13 +104,12 @@ func TestEmitCountConservation(t *testing.T) {
 			return false
 		}
 		rt := e.tasks[0]
-		rt.beginEmit()
 		rt.EmitCount(n)
 		total := 0
-		for _, batch := range rt.emitting {
-			total += batch.Count
+		for i := range rt.emitBuf {
+			total += rt.emitBuf[i].Count
+			rt.emitBuf[i] = Batch{}
 		}
-		rt.emitting = nil
 		return total == n
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// resetFingerprint summarises everything an engine run reports.
+type resetFingerprint struct {
+	sinkTuples int
+	records    int
+	recovered  int
+	acc        AccuracyStats
+	progress   []int
+}
+
+func fingerprint(e *Engine) resetFingerprint {
+	fp := resetFingerprint{
+		sinkTuples: e.SinkTupleCount(),
+		records:    len(e.SinkRecords()),
+		acc:        e.AccuracyStats(),
+	}
+	for _, st := range e.RecoveryStats() {
+		if st.Recovered {
+			fp.recovered++
+		}
+	}
+	for id := range e.tasks {
+		fp.progress = append(fp.progress, e.TaskProgress(topology.TaskID(id)))
+	}
+	return fp
+}
+
+func eqFingerprint(a, b resetFingerprint) bool {
+	if a.sinkTuples != b.sinkTuples || a.records != b.records || a.recovered != b.recovered {
+		return false
+	}
+	if a.acc.FirmTuples != b.acc.FirmTuples || a.acc.TentativeTuples != b.acc.TentativeTuples ||
+		a.acc.CorrectedBatches != b.acc.CorrectedBatches || a.acc.AmendedTuples != b.acc.AmendedTuples {
+		return false
+	}
+	for i := range a.progress {
+		if a.progress[i] != b.progress[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEngineResetBitIdentical runs a failure scenario, resets the
+// engine, and checks both a failure-free rerun and a repeat of the same
+// scenario reproduce exactly what fresh engines produce: Reset leaks no
+// state from the previous run in either direction.
+func TestEngineResetBitIdentical(t *testing.T) {
+	setup := func() Setup {
+		topo := chainTopo(1000)
+		c := cluster.New(5, 3)
+		if _, err := c.BuildDomains(cluster.Layout{Zones: 1, RacksPerZone: 2, SpreadStandby: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PlaceRoundRobin(topo); err != nil {
+			t.Fatal(err)
+		}
+		return Setup{
+			Topology:   topo,
+			Cluster:    c,
+			Config:     Config{CheckpointInterval: 10, TentativeOutputs: true},
+			Sources:    map[int]SourceFactory{0: NewCountSourceFactory(1000)},
+			Operators:  map[int]OperatorFactory{1: NewWindowCountFactory(5, 1), 2: NewWindowCountFactory(5, 1)},
+			Strategies: allStrategies(5, StrategyActive),
+		}
+	}
+	scenario := func(e *Engine) {
+		e.ScheduleNodeFailures([]cluster.NodeID{0, 1}, 20.25)
+		e.Run(90)
+	}
+
+	// Fresh engine, failure run.
+	fresh1, err := New(setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenario(fresh1)
+	failFP := fingerprint(fresh1)
+	if failFP.recovered == 0 {
+		t.Fatal("scenario recovered nothing; test misconfigured")
+	}
+
+	// Fresh engine, failure-free run.
+	fresh2, err := New(setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh2.Run(90)
+	cleanFP := fingerprint(fresh2)
+	if eqFingerprint(failFP, cleanFP) {
+		t.Fatal("failure scenario indistinguishable from failure-free run; test misconfigured")
+	}
+
+	// Reset after a failure run must reproduce the failure-free run.
+	fresh1.Reset()
+	fresh1.Run(90)
+	if got := fingerprint(fresh1); !eqFingerprint(got, cleanFP) {
+		t.Errorf("reset-after-failure run diverged: %+v vs fresh %+v", got, cleanFP)
+	}
+
+	// Reset and repeat the same scenario: same outcome as the first run.
+	fresh1.Reset()
+	scenario(fresh1)
+	if got := fingerprint(fresh1); !eqFingerprint(got, failFP) {
+		t.Errorf("reset scenario rerun diverged: %+v vs fresh %+v", got, failFP)
+	}
+
+	// A reset engine must also repeat corrections/accuracy bit-for-bit.
+	if d1, d2 := fingerprint(fresh1).acc.CorrectionDelays, failFP.acc.CorrectionDelays; len(d1) == len(d2) {
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Errorf("correction delay %d diverged: %v vs %v", i, d1[i], d2[i])
+			}
+		}
+	} else {
+		t.Errorf("correction delays diverged: %v vs %v", d1, d2)
+	}
+}

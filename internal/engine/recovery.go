@@ -52,6 +52,12 @@ func newMaster(e *Engine) *master {
 	return &master{eng: e, pending: make(map[topology.TaskID]*failure)}
 }
 
+// reset clears all failure bookkeeping (Engine.Reset).
+func (m *master) reset() {
+	clear(m.pending)
+	m.done = m.done[:0]
+}
+
 // onFailure captures the failed task's progress; detection happens at
 // the next heartbeat.
 func (m *master) onFailure(id topology.TaskID, rt *taskRuntime) {
@@ -141,8 +147,7 @@ func (m *master) recoverActive(id topology.TaskID, f *failure) {
 					from = b + 1
 				}
 			}
-			rep.nextBatch = from
-			rep.processedBatch = from - 1
+			rep.rebase(from)
 			rep.catchUpSource(e.currentBatch)
 		}
 		// Resend the output the failed primary may not have delivered:
@@ -210,7 +215,7 @@ func (m *master) installCheckpoint(id topology.TaskID, ck *checkpointData) {
 		if !rt.isSource {
 			rt.nextBatch = ck.batch + 1
 		}
-		rt.processedBatch = rt.nextBatch - 1
+		rt.rebase(rt.nextBatch)
 		for d, buf := range ck.outBuf {
 			mm := make(map[int]Batch, len(buf))
 			for b, content := range buf {
@@ -277,11 +282,9 @@ func (m *master) recoverSourceReplay(id topology.TaskID, f *failure) {
 		// Fresh incarnation of the failed task.
 		rt := newTaskRuntime(e, id, false)
 		rt.recovering = true
-		rt.nextBatch = replayFrom
-		rt.processedBatch = replayFrom - 1
+		rt.rebase(replayFrom)
 		if rt.isSource {
-			rt.nextBatch = 0
-			rt.processedBatch = -1
+			rt.rebase(0)
 		}
 		e.tasks[id] = rt
 		// Sources regenerate the replayed batches (and the failed task
@@ -373,7 +376,7 @@ func (m *master) fabricate() {
 					continue
 				}
 				for b := drt.nextBatch; b <= e.currentBatch; b++ {
-					if pm := drt.puncts[b]; pm != nil && pm[id] {
+					if drt.hasPunct(b, id) {
 						continue
 					}
 					drt.receive(id, b, Batch{}, fab)

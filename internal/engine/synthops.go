@@ -72,7 +72,13 @@ func (o *WindowCountOp) OnBatchEnd(batch int, emit Emitter) {
 // window content's footprint (count * TupleBytes), modelling the
 // "state composed by the input data within the current window" of
 // §VI-A, so checkpoint save/restore costs scale with rate x window.
-func (o *WindowCountOp) Snapshot() []byte {
+func (o *WindowCountOp) Snapshot() []byte { return o.SnapshotAppend(nil) }
+
+// SnapshotAppend implements SnapshotAppender: the same payload as
+// Snapshot, written into buf's reusable capacity. The payload body
+// (the modelled window tuples) is zero-filled, so only the header is
+// actually written; its size is what the checkpoint cost model charges.
+func (o *WindowCountOp) SnapshotAppend(buf []byte) []byte {
 	tb := o.TupleBytes
 	if tb == 0 {
 		tb = 16
@@ -82,7 +88,26 @@ func (o *WindowCountOp) Snapshot() []byte {
 		tuples += c
 	}
 	head := 16 + 8*len(o.window)
-	buf := make([]byte, head+tuples*tb)
+	size := head + tuples*tb
+	if cap(buf) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+		// The payload body is always zero — only header bytes are ever
+		// written — and every previous writer of this buffer was an
+		// instance of the same operator (checkpoint buffers are
+		// per-task), so clearing the maximal header extent suffices:
+		// re-zeroing the whole modelled body would dominate checkpoint
+		// CPU for large windows.
+		dirty := 16 + 8*o.WindowBatches
+		if len(o.window) > o.WindowBatches {
+			dirty = 16 + 8*len(o.window)
+		}
+		if dirty > size {
+			dirty = size
+		}
+		clear(buf[:dirty])
+	}
 	binary.LittleEndian.PutUint64(buf[0:], uint64(o.seen))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(len(o.window)))
 	for i, c := range o.window {

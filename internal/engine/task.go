@@ -13,8 +13,11 @@ import (
 type route struct {
 	downOp     int
 	recipients []topology.TaskID
-	weights    []float64
-	weightSum  float64
+	// recIdx maps each recipient to its compact index in the task's
+	// flattened recipient list (emitBuf slot).
+	recIdx    []int32
+	weights   []float64
+	weightSum float64
 }
 
 // delivery carries the control flags of one batch message between tasks.
@@ -60,19 +63,23 @@ type taskRuntime struct {
 	epoch    int
 
 	upstreams []topology.TaskID
-	upOp      map[topology.TaskID]int
-	routes    []route
+	// upIdx maps an upstream task to its compact index into upOps, the
+	// window's per-batch state and tupleProgress; upOps holds the
+	// upstream operator per compact index.
+	upIdx  map[topology.TaskID]int32
+	upOps  []int
+	routes []route
 
-	staged map[int]map[topology.TaskID]*Batch
-	puncts map[int]map[topology.TaskID]bool
-	// taintIn records, per open batch and upstream, a tentative (or
-	// fabricated) punctuation: a batch closed with any entry left is
-	// tentative and its output carries the taint downstream.
-	taintIn map[int]map[topology.TaskID]bool
-	// missIn records, per batch and upstream, a master-fabricated
+	// win holds the per-open-batch input state (staged input and
+	// punctuation/taint/miss flags per upstream) as a dense ring of
+	// recycled records — see window.go.
+	win batchWindow
+	// missIn records, per closed batch and upstream, a master-fabricated
 	// punctuation whose real data never arrived: the input is owed.
-	// Entries survive the batch close so that the recovered upstream's
-	// late real data can be matched and reprocessed as an amendment.
+	// Open-batch miss flags live in the window; they are spilled here
+	// when a batch closes tentative, surviving the close so that the
+	// recovered upstream's late real data can be matched and reprocessed
+	// as an amendment.
 	missIn map[int]map[topology.TaskID]bool
 	// tentOut marks the batches this incarnation closed (and emitted)
 	// tentative. Amendments are only accepted for batches in tentOut,
@@ -97,15 +104,19 @@ type taskRuntime struct {
 	// last periodic ack (§V-B): the take-over resend covers only later
 	// batches.
 	ackBatch int
-	// tupleProgress counts processed tuples per upstream task
-	// (auxiliary fine-grained progress, used in tests).
-	tupleProgress map[topology.TaskID]int64
+	// tupleProgress counts processed tuples per compact upstream index
+	// (auxiliary fine-grained progress, used in tests). A source task
+	// has a single slot counting its own generated tuples.
+	tupleProgress []int64
 
 	procCPU sim.Time
 	ckptCPU sim.Time
 
-	// emit staging during batch processing
-	emitting  map[topology.TaskID]*Batch
+	// emit staging during batch processing: one slot per downstream
+	// recipient in route order, reused across batches (the tuple
+	// backing is handed off to outBuf at finishEmit, so slots restart
+	// empty each batch).
+	emitBuf   []Batch
 	sinkOut   []Tuple
 	sinkCount int // unmaterialised tuples emitted at a sink this batch
 }
@@ -114,31 +125,34 @@ func newTaskRuntime(e *Engine, id topology.TaskID, isReplica bool) *taskRuntime 
 	t := e.topo
 	task := t.Tasks[id]
 	rt := &taskRuntime{
-		eng:            e,
-		id:             id,
-		opIdx:          task.Op,
-		taskIndex:      task.Index,
-		isSource:       t.IsSource(task.Op),
-		isReplica:      isReplica,
-		upOp:           make(map[topology.TaskID]int),
-		staged:         make(map[int]map[topology.TaskID]*Batch),
-		puncts:         make(map[int]map[topology.TaskID]bool),
-		taintIn:        make(map[int]map[topology.TaskID]bool),
-		missIn:         make(map[int]map[topology.TaskID]bool),
-		tentOut:        make(map[int]bool),
-		outBuf:         make(map[topology.TaskID]map[int]Batch),
-		ckptBound:      make(map[topology.TaskID]int),
-		tupleProgress:  make(map[topology.TaskID]int64),
-		processedBatch: -1,
-		ackBatch:       -1,
+		eng:       e,
+		id:        id,
+		opIdx:     task.Op,
+		taskIndex: task.Index,
+		isSource:  t.IsSource(task.Op),
+		isReplica: isReplica,
+		upIdx:     make(map[topology.TaskID]int32),
+		missIn:    make(map[int]map[topology.TaskID]bool),
+		tentOut:   make(map[int]bool),
+		outBuf:    make(map[topology.TaskID]map[int]Batch),
+		ckptBound: make(map[topology.TaskID]int),
 	}
 	for _, in := range t.InputsOf(id) {
 		for _, sub := range in.Subs {
 			rt.upstreams = append(rt.upstreams, sub.From)
-			rt.upOp[sub.From] = in.FromOp
 		}
 	}
 	sort.Slice(rt.upstreams, func(i, j int) bool { return rt.upstreams[i] < rt.upstreams[j] })
+	rt.upOps = make([]int, len(rt.upstreams))
+	for i, u := range rt.upstreams {
+		rt.upIdx[u] = int32(i)
+	}
+	for _, in := range t.InputsOf(id) {
+		for _, sub := range in.Subs {
+			rt.upOps[rt.upIdx[sub.From]] = in.FromOp
+		}
+	}
+	rt.win.init(len(rt.upstreams))
 
 	// Group outgoing substreams into per-operator routes.
 	byOp := map[int]*route{}
@@ -157,16 +171,74 @@ func newTaskRuntime(e *Engine, id topology.TaskID, isReplica bool) *taskRuntime 
 		r.weightSum += w
 	}
 	sort.Ints(ops)
+	nrec := 0
 	for _, op := range ops {
-		rt.routes = append(rt.routes, *byOp[op])
+		r := byOp[op]
+		r.recIdx = make([]int32, len(r.recipients))
+		for j := range r.recipients {
+			r.recIdx[j] = int32(nrec)
+			nrec++
+		}
+		rt.routes = append(rt.routes, *r)
 	}
+	rt.emitBuf = make([]Batch, nrec)
 
 	if rt.isSource {
-		rt.src = e.sources[task.Op](task.Index)
+		rt.tupleProgress = make([]int64, 1)
 	} else {
-		rt.udf = e.operators[task.Op](task.Index)
+		rt.tupleProgress = make([]int64, len(rt.upstreams))
 	}
+	rt.resetVolatile(isReplica)
 	return rt
+}
+
+// resetVolatile (re)initialises the run-mutable state of the runtime:
+// fresh operator/source instances from the factories, empty buffers and
+// progress counters. newTaskRuntime calls it on construction and
+// Engine.Reset reuses it to return a runtime to its pristine state
+// without rebuilding the immutable routing.
+func (rt *taskRuntime) resetVolatile(isReplica bool) {
+	e := rt.eng
+	rt.isReplica = isReplica
+	rt.failed = false
+	rt.recovering = false
+	rt.promoted = false
+	rt.epoch++
+	rt.procScheduled = false
+	rt.busyUntil = 0
+	rt.nextBatch = 0
+	rt.processedBatch = -1
+	rt.ackBatch = -1
+	rt.procCPU = 0
+	rt.ckptCPU = 0
+	rt.sinkOut = rt.sinkOut[:0]
+	rt.sinkCount = 0
+	rt.win.resetTo(0, &e.tuples)
+	clear(rt.missIn)
+	clear(rt.tentOut)
+	for _, buf := range rt.outBuf {
+		clear(buf)
+	}
+	clear(rt.ckptBound)
+	for i := range rt.tupleProgress {
+		rt.tupleProgress[i] = 0
+	}
+	for i := range rt.emitBuf {
+		rt.emitBuf[i] = Batch{}
+	}
+	if rt.isSource {
+		rt.src = e.sources[rt.opIdx](rt.taskIndex)
+	} else {
+		rt.udf = e.operators[rt.opIdx](rt.taskIndex)
+	}
+}
+
+// rebase points a runtime (with no open-batch records) at a new next
+// batch, keeping the window base in sync.
+func (rt *taskRuntime) rebase(next int) {
+	rt.nextBatch = next
+	rt.processedBatch = next - 1
+	rt.win.base = next
 }
 
 // receive stages an incoming batch fragment; duplicates of already
@@ -177,7 +249,8 @@ func (rt *taskRuntime) receive(from topology.TaskID, batch int, content Batch, d
 	if rt.failed || rt.isSource {
 		return
 	}
-	if _, known := rt.upOp[from]; !known {
+	ui, known := rt.upIdx[from]
+	if !known {
 		return
 	}
 	if batch < rt.nextBatch {
@@ -192,34 +265,38 @@ func (rt *taskRuntime) receive(from topology.TaskID, batch int, content Batch, d
 		// closing the batch firm could silently miss a later delta —
 		// a conservative never-corrected tentative mark is safer.
 		if content.Count > 0 {
-			rt.stageInput(from, batch, content)
+			rt.stageInput(rt.win.rec(batch), ui, content)
 		}
 		rt.tryProcess()
 		return
 	}
-	m := rt.puncts[batch]
-	seen := m != nil && m[from]
+	r := rt.win.peek(batch)
+	seen := r != nil && r.punct.test(int(ui))
 	// A recorded punctuation means this upstream already delivered the
 	// batch in full: later payloads for the same (upstream, batch) are
 	// replay duplicates and are dropped — unless the punctuation was
 	// fabricated (the data is owed) and the real payload arrives now.
 	// Absorbing that payload settles the debt immediately, whether it is
 	// firm or still tentative: a repeated resend must not stage it twice.
-	if content.Count > 0 && (!seen || rt.missIn[batch][from]) {
-		rt.stageInput(from, batch, content)
+	if content.Count > 0 && (!seen || r.miss.test(int(ui))) {
+		if r == nil {
+			r = rt.win.rec(batch)
+		}
+		rt.stageInput(r, ui, content)
 		rt.settleOwed(batch, from)
 	}
 	if d.punct {
-		if m == nil {
-			m = make(map[topology.TaskID]bool)
-			rt.puncts[batch] = m
+		if r == nil {
+			r = rt.win.rec(batch)
 		}
 		if !seen {
-			m[from] = true
+			if r.punct.set(int(ui)) {
+				r.punctCount++
+			}
 			if d.tent {
-				markIn(rt.taintIn, batch, from)
+				r.taint.set(int(ui))
 				if d.fab {
-					markIn(rt.missIn, batch, from)
+					r.miss.set(int(ui))
 				}
 			}
 		}
@@ -228,8 +305,8 @@ func (rt *taskRuntime) receive(from topology.TaskID, batch int, content Batch, d
 			// (e.g. a recovered upstream resent it after the master had
 			// fabricated its punctuation): the input is complete after
 			// all, so the taint and the missing mark are lifted.
-			clearIn(rt.taintIn, batch, from)
-			clearIn(rt.missIn, batch, from)
+			r.taint.clear(int(ui))
+			r.miss.clear(int(ui))
 		}
 	}
 	rt.tryProcess()
@@ -263,6 +340,11 @@ func (rt *taskRuntime) receiveLate(from topology.TaskID, batch int, content Batc
 // not repeat the amendment (the upstream resends the same batch on
 // every recovery, and a duplicate amendment would overcount at sinks).
 func (rt *taskRuntime) settleOwed(batch int, from topology.TaskID) {
+	if r := rt.win.peek(batch); r != nil {
+		if ui, ok := rt.upIdx[from]; ok {
+			r.miss.clear(int(ui))
+		}
+	}
 	clearIn(rt.missIn, batch, from)
 	if ck := rt.eng.store[rt.id]; ck != nil {
 		if owed := ck.missIn[batch]; owed != nil {
@@ -274,17 +356,12 @@ func (rt *taskRuntime) settleOwed(batch int, from topology.TaskID) {
 	}
 }
 
-// stageInput merges one incoming batch fragment into the staged input.
-func (rt *taskRuntime) stageInput(from topology.TaskID, batch int, content Batch) {
-	m := rt.staged[batch]
-	if m == nil {
-		m = make(map[topology.TaskID]*Batch)
-		rt.staged[batch] = m
-	}
-	b := m[from]
-	if b == nil {
-		b = &Batch{}
-		m[from] = b
+// stageInput merges one incoming batch fragment into the staged input
+// of the record, priming the tuple backing from the engine pool.
+func (rt *taskRuntime) stageInput(r *batchRec, ui int32, content Batch) {
+	b := &r.staged[ui]
+	if b.Tuples == nil && len(content.Tuples) > 0 {
+		b.Tuples = rt.eng.tuples.get()
 	}
 	b.Append(content)
 }
@@ -307,18 +384,24 @@ func clearIn(m map[int]map[topology.TaskID]bool, batch int, from topology.TaskID
 	}
 }
 
-// ready reports whether every upstream punctuation for the batch is in.
-func (rt *taskRuntime) ready(batch int) bool {
-	m := rt.puncts[batch]
-	if len(m) < len(rt.upstreams) {
+// hasPunct reports whether the batch-over punctuation of (batch, from)
+// has been recorded (used by the master's fabrication loop).
+func (rt *taskRuntime) hasPunct(batch int, from topology.TaskID) bool {
+	r := rt.win.peek(batch)
+	if r == nil {
 		return false
 	}
-	for _, u := range rt.upstreams {
-		if !m[u] {
-			return false
-		}
+	ui, ok := rt.upIdx[from]
+	return ok && r.punct.test(int(ui))
+}
+
+// ready reports whether every upstream punctuation for the batch is in.
+func (rt *taskRuntime) ready(batch int) bool {
+	if len(rt.upstreams) == 0 {
+		return true
 	}
-	return true
+	r := rt.win.peek(batch)
+	return r != nil && r.punctCount == len(rt.upstreams)
 }
 
 // tryProcess schedules processing of the next batch when it is ready.
@@ -333,8 +416,10 @@ func (rt *taskRuntime) tryProcess() {
 		return
 	}
 	total := 0
-	for _, in := range rt.staged[b] {
-		total += in.Count
+	if r := rt.win.peek(b); r != nil {
+		for i := range r.staged {
+			total += r.staged[i].Count
+		}
 	}
 	cost := rt.eng.cfg.PerBatchOverhead + sim.Time(float64(total)/rt.eng.cfg.ProcRate)
 	now := rt.eng.clock.Now()
@@ -344,13 +429,29 @@ func (rt *taskRuntime) tryProcess() {
 	}
 	rt.busyUntil = start + cost
 	rt.procScheduled = true
-	epoch := rt.epoch
-	rt.eng.clock.At(start+cost, func() {
-		if rt.failed || rt.epoch != epoch {
-			return
-		}
-		rt.completeBatch(b, cost)
-	})
+	pe := rt.eng.getProcEvent()
+	pe.rt, pe.b, pe.cost, pe.epoch = rt, b, cost, rt.epoch
+	rt.eng.clock.AtRun(start+cost, pe)
+}
+
+// procEvent is the pooled completion event of one scheduled batch. It
+// recycles itself on fire; it is never cancelled (stale incarnations
+// are fenced by the epoch check), so the pool discipline is safe.
+type procEvent struct {
+	rt    *taskRuntime
+	b     int
+	cost  sim.Time
+	epoch int
+}
+
+// Run implements sim.Runner.
+func (pe *procEvent) Run() {
+	rt, b, cost, epoch := pe.rt, pe.b, pe.cost, pe.epoch
+	rt.eng.putProcEvent(pe)
+	if rt.failed || rt.epoch != epoch {
+		return
+	}
+	rt.completeBatch(b, cost)
 }
 
 // completeBatch runs the UDF over the staged input of batch b, emits and
@@ -358,42 +459,45 @@ func (rt *taskRuntime) tryProcess() {
 func (rt *taskRuntime) completeBatch(b int, cost sim.Time) {
 	rt.procScheduled = false
 	rt.procCPU += cost
-	rt.beginEmit()
-	staged := rt.staged[b]
-	for _, u := range rt.upstreams {
+	r := rt.win.peek(b)
+	for ui := range rt.upstreams {
 		var in Batch
-		if sb := staged[u]; sb != nil {
-			in = *sb
+		if r != nil {
+			in = r.staged[ui]
 		}
-		rt.udf.ProcessBatch(b, rt.upOp[u], in, rt)
-		rt.tupleProgress[u] += int64(in.Count)
+		rt.udf.ProcessBatch(b, rt.upOps[ui], in, rt)
+		rt.tupleProgress[ui] += int64(in.Count)
 	}
 	rt.udf.OnBatchEnd(b, rt)
 	// A batch closed with any tentative or fabricated punctuation left
 	// standing produces tentative output, whatever the task's distance
 	// from the failure: the taint travels with the emitted batches.
-	tentative := len(rt.taintIn[b]) > 0
+	tentative := r != nil && r.taint.any()
 	if tentative {
 		rt.tentOut[b] = true
-	} else {
+	} else if len(rt.tentOut) > 0 {
 		delete(rt.tentOut, b) // reprocessed firm (e.g. after a rewind)
 	}
 	rt.finishEmit(b, tentative)
-	delete(rt.staged, b)
-	delete(rt.puncts, b)
-	delete(rt.taintIn, b)
-	// missIn[b] is kept: it records which upstream inputs are still
-	// owed, matched against the recovered upstream's late real data to
-	// trigger the amendment that corrects this batch.
-	if !tentative {
-		delete(rt.missIn, b)
+	// The open-batch miss flags record which upstream inputs are still
+	// owed; on a tentative close they are spilled to the missIn map so
+	// they survive the record's release and can be matched against the
+	// recovered upstream's late real data to trigger the amendment that
+	// corrects this batch.
+	if tentative && r != nil && r.miss.any() {
+		for ui, u := range rt.upstreams {
+			if r.miss.test(ui) {
+				markIn(rt.missIn, b, u)
+			}
+		}
 	}
+	rt.win.release(b, &rt.eng.tuples)
 	rt.nextBatch = b + 1
 	rt.processedBatch = b
 	if rt.eng.topo.IsSink(rt.opIdx) && !rt.isReplica {
 		rt.eng.recordSinkBatch(rt.id, b, rt.sinkOut, rt.sinkCount, tentative)
 	}
-	rt.sinkOut = nil
+	rt.sinkOut = rt.sinkOut[:0]
 	rt.sinkCount = 0
 	if rt.recovering {
 		rt.eng.master.checkRecovered(rt)
@@ -410,7 +514,9 @@ func (rt *taskRuntime) Emit(t Tuple) {
 	for i := range rt.routes {
 		r := &rt.routes[i]
 		idx := int(hashKey(t.Key) % uint64(len(r.recipients)))
-		rt.stageEmit(r.recipients[idx], Batch{Count: 1, Tuples: []Tuple{t}})
+		b := &rt.emitBuf[r.recIdx[idx]]
+		b.Count++
+		b.Tuples = append(b.Tuples, t)
 	}
 }
 
@@ -428,42 +534,30 @@ func (rt *taskRuntime) EmitCount(n int) {
 	for i := range rt.routes {
 		r := &rt.routes[i]
 		var cum, prevRounded float64
-		for j, rec := range r.recipients {
+		for j := range r.recipients {
 			cum += float64(n) * r.weights[j] / r.weightSum
 			rounded := float64(int(cum + 0.5))
 			share := int(rounded - prevRounded)
 			prevRounded = rounded
 			if share > 0 {
-				rt.stageEmit(rec, Batch{Count: share})
+				rt.emitBuf[r.recIdx[j]].Count += share
 			}
 		}
 	}
 }
 
-func (rt *taskRuntime) beginEmit() {
-	rt.emitting = make(map[topology.TaskID]*Batch)
-}
-
-func (rt *taskRuntime) stageEmit(to topology.TaskID, content Batch) {
-	b := rt.emitting[to]
-	if b == nil {
-		b = &Batch{}
-		rt.emitting[to] = b
-	}
-	b.Append(content)
-}
-
 // finishEmit buffers the batch outputs and, on a primary, delivers them
 // with batch-over punctuations to every downstream task. The tentative
 // bit rides on the punctuation so downstream tasks inherit the taint.
+// Emit-buffer slots hand their tuple backing off to the output buffer
+// and restart empty, so a slot is never aliased across batches.
 func (rt *taskRuntime) finishEmit(batch int, tentative bool) {
 	for i := range rt.routes {
 		r := &rt.routes[i]
-		for _, rec := range r.recipients {
-			var content Batch
-			if b := rt.emitting[rec]; b != nil {
-				content = *b
-			}
+		for j, rec := range r.recipients {
+			slot := &rt.emitBuf[r.recIdx[j]]
+			content := *slot
+			*slot = Batch{}
 			buf := rt.outBuf[rec]
 			if buf == nil {
 				buf = make(map[int]Batch)
@@ -475,7 +569,6 @@ func (rt *taskRuntime) finishEmit(batch int, tentative bool) {
 			}
 		}
 	}
-	rt.emitting = nil
 }
 
 // reprocessAmendment re-runs a late input delta of an already-closed
@@ -492,14 +585,14 @@ func (rt *taskRuntime) reprocessAmendment(from topology.TaskID, batch int, delta
 	start := maxTime(rt.busyUntil, now)
 	rt.busyUntil = start + cost
 	epoch := rt.epoch
+	fromOp := rt.upOps[rt.upIdx[from]]
 	rt.eng.clock.At(start+cost, func() {
 		if rt.failed || rt.epoch != epoch {
 			return
 		}
 		rt.procCPU += cost
 		op := rt.eng.operators[rt.opIdx](rt.taskIndex)
-		rt.beginEmit()
-		op.ProcessBatch(batch, rt.upOp[from], delta, rt)
+		op.ProcessBatch(batch, fromOp, delta, rt)
 		op.OnBatchEnd(batch, rt)
 		rt.finishAmend(batch)
 	})
@@ -514,23 +607,19 @@ func (rt *taskRuntime) finishAmend(batch int) {
 	if rt.eng.topo.IsSink(rt.opIdx) && !rt.isReplica {
 		rt.eng.recordSinkAmendment(rt.id, batch, rt.sinkOut, rt.sinkCount)
 	}
-	rt.sinkOut = nil
+	rt.sinkOut = rt.sinkOut[:0]
 	rt.sinkCount = 0
-	if rt.isReplica {
-		rt.emitting = nil
-		return
-	}
 	for i := range rt.routes {
 		r := &rt.routes[i]
-		for _, rec := range r.recipients {
-			var content Batch
-			if b := rt.emitting[rec]; b != nil {
-				content = *b
+		for j, rec := range r.recipients {
+			slot := &rt.emitBuf[r.recIdx[j]]
+			content := *slot
+			*slot = Batch{}
+			if !rt.isReplica {
+				rt.eng.deliver(rt.id, rec, batch, content, delivery{amend: true})
 			}
-			rt.eng.deliver(rt.id, rec, batch, content, delivery{amend: true})
 		}
 	}
-	rt.emitting = nil
 }
 
 // emitSourceBatch generates and sends one source batch (the source task
@@ -540,7 +629,6 @@ func (rt *taskRuntime) emitSourceBatch(b int) {
 		return
 	}
 	content := rt.src.BatchAt(b)
-	rt.beginEmit()
 	if len(content.Tuples) > 0 {
 		for _, t := range content.Tuples {
 			rt.Emit(t)
@@ -552,7 +640,7 @@ func (rt *taskRuntime) emitSourceBatch(b int) {
 		rt.EmitCount(content.Count)
 	}
 	rt.finishEmit(b, false) // source data is always firm
-	rt.tupleProgress[rt.id] += int64(content.Count)
+	rt.tupleProgress[0] += int64(content.Count)
 	rt.nextBatch = b + 1
 	rt.processedBatch = b
 	if rt.recovering {
@@ -701,9 +789,7 @@ func (rt *taskRuntime) bufferedCount() int {
 func (rt *taskRuntime) resetTo(batch int) {
 	rt.epoch++
 	rt.procScheduled = false
-	rt.staged = make(map[int]map[topology.TaskID]*Batch)
-	rt.puncts = make(map[int]map[topology.TaskID]bool)
-	rt.taintIn = make(map[int]map[topology.TaskID]bool)
+	rt.win.resetTo(batch, &rt.eng.tuples)
 	// Batches at or above the rewind point are reprocessed from scratch;
 	// older tentative batches stay closed, so their owed-input records
 	// and tentative marks must survive for the correction layer.
@@ -725,10 +811,14 @@ func (rt *taskRuntime) resetTo(batch int) {
 	}
 }
 
-// snapshotState captures the checkpoint payload of this task.
-func (rt *taskRuntime) snapshotState() []byte {
+// snapshotState captures the checkpoint payload of this task, reusing
+// buf's capacity when possible.
+func (rt *taskRuntime) snapshotState(buf []byte) []byte {
 	if rt.isSource {
-		return encodeInt(rt.nextBatch)
+		return appendInt(buf[:0], rt.nextBatch)
+	}
+	if sa, ok := rt.udf.(SnapshotAppender); ok {
+		return sa.SnapshotAppend(buf[:0])
 	}
 	return rt.udf.Snapshot()
 }
@@ -739,11 +829,13 @@ func hashKey(key string) uint64 {
 	return h.Sum64()
 }
 
-func encodeInt(v int) []byte {
-	b := make([]byte, 8)
+func encodeInt(v int) []byte { return appendInt(nil, v) }
+
+// appendInt appends the 8-byte little-endian encoding of v to b.
+func appendInt(b []byte, v int) []byte {
 	u := uint64(v)
 	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
+		b = append(b, byte(u>>(8*i)))
 	}
 	return b
 }

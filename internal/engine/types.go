@@ -55,6 +55,11 @@ type Emitter interface {
 type OperatorFunc interface {
 	// ProcessBatch consumes the input of one batch from one upstream
 	// operator. in.Count is the tuple count even when in.Tuples is nil.
+	// The in.Tuples slice is only valid during the call: the engine
+	// recycles the backing array once the batch closes, so an operator
+	// that needs tuples beyond the call must copy the values out (all
+	// the repo's operators already do — they fold tuples into their own
+	// state).
 	ProcessBatch(batch int, fromOp int, in Batch, emit Emitter)
 	// OnBatchEnd runs after all input streams of the batch were
 	// processed; windowed operators typically emit here.
@@ -63,6 +68,19 @@ type OperatorFunc interface {
 	Snapshot() []byte
 	// Restore loads a snapshot produced by Snapshot.
 	Restore(data []byte) error
+}
+
+// SnapshotAppender is an optional OperatorFunc extension: operators
+// implementing it serialise their checkpoint into a caller-provided
+// buffer (reusing its capacity) instead of allocating a fresh one per
+// Snapshot. The engine recycles each task's previous checkpoint buffer
+// through this path, which removes the dominant byte churn of periodic
+// checkpointing for large windowed states.
+type SnapshotAppender interface {
+	// SnapshotAppend appends the snapshot to buf (typically passed with
+	// len 0 and reusable capacity) and returns the resulting slice. The
+	// content must equal Snapshot().
+	SnapshotAppend(buf []byte) []byte
 }
 
 // OperatorFactory builds the OperatorFunc instance for one task of an

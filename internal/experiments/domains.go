@@ -35,6 +35,10 @@ func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int,
 	if err != nil {
 		return Result{}, err
 	}
+	// The failure-free baseline depends only on (planner, horizon), not
+	// on placement or burst model: one cached baseline simulation per
+	// planner serves the whole sweep.
+	baselines := campaign.NewBaselineCache()
 	for _, planner := range planners {
 		// One env per planner: the plan (and the failure-free baseline)
 		// is independent of replica placement, so the placement sweep
@@ -47,7 +51,6 @@ func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int,
 		if err != nil {
 			return Result{}, err
 		}
-		baseline := 0
 		for _, placement := range placements {
 			cell := planner + "/" + placement.String()
 			lat := Series{Name: cell + "-p95"}
@@ -65,15 +68,15 @@ func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int,
 					return Result{}, err
 				}
 				rep, err := campaign.Run(campaign.Config{
-					Setup:     env.SetupFor(placement),
-					Scenarios: scenarios,
-					Horizon:   150,
-					Baseline:  baseline,
+					Setup:       env.SetupFor(placement),
+					Scenarios:   scenarios,
+					Horizon:     150,
+					Baselines:   baselines,
+					BaselineKey: planner,
 				})
 				if err != nil {
 					return Result{}, fmt.Errorf("experiments: %s/%s campaign: %w", cell, model, err)
 				}
-				baseline = rep.BaselineSinkTuples
 				lat.Points = append(lat.Points, Point{X: model.String(), Y: rep.Summary.Latency.P95})
 				loss.Points = append(loss.Points, Point{X: model.String(), Y: rep.Summary.Loss.Mean})
 				tent.Points = append(tent.Points, Point{X: model.String(), Y: rep.Summary.TentativeFrac.Mean})

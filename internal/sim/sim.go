@@ -3,10 +3,15 @@
 // experiments of the reproduction run on virtual time so that results
 // are reproducible bit-for-bit and independent of host speed, replacing
 // the paper's wall-clock EC2 measurements (see DESIGN.md §4).
+//
+// The kernel is allocation-free on the steady-state hot path: events are
+// slab-allocated and recycled through a free list, so scheduling and
+// cancelling reuse event objects instead of heap-allocating, and a
+// fired or cancelled event drops its callback reference immediately —
+// the heap retains nothing between events.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -19,64 +24,58 @@ func (t Time) Millis() float64 { return float64(t) * 1000 }
 // String formats the time as seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 
-// Timer is a handle to a scheduled event, usable to cancel it.
+// Runner is an event callback carried as an interface instead of a
+// closure. Schedulers with a hot path (the engine's per-batch delivery
+// events) implement Run on a pooled struct and pass it to AtRun /
+// AfterRun, avoiding the per-event closure allocation of At / After.
+type Runner interface {
+	Run()
+}
+
+// Timer is a handle to a scheduled event, usable to cancel it. The zero
+// Timer is valid and cancels nothing. Timers are values: they stay safe
+// after their event fired and its slot was recycled for a later event —
+// the generation check turns a stale Cancel into a no-op.
 type Timer struct {
-	cancelled bool
-	clock     *Clock
-	event     *event
+	clock *Clock
+	ev    *event
+	gen   uint32
 }
 
 // Cancel prevents the event from firing and removes it from the event
 // heap immediately, so cancelled events neither linger in the queue nor
-// retain their callbacks. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t == nil || t.cancelled {
+// retain their callbacks; the event object returns to the clock's free
+// list. Cancelling a zero, already-fired or already-cancelled timer is
+// a no-op.
+func (t Timer) Cancel() {
+	e := t.ev
+	if e == nil || t.clock == nil || e.gen != t.gen || e.index < 0 {
 		return
 	}
-	t.cancelled = true
-	if t.event != nil && t.event.index >= 0 {
-		heap.Remove(&t.clock.heap, t.event.index)
-	}
-	t.event = nil
-	t.clock = nil
+	t.clock.remove(e.index)
+	t.clock.recycle(e)
 }
 
+// event is one scheduled callback. Events live in clock-owned slabs and
+// cycle through the free list; gen distinguishes incarnations of the
+// same slot so stale Timer handles cannot cancel a recycled event.
 type event struct {
 	at    Time
 	seq   uint64
 	fn    func()
-	timer *Timer
-	index int // position in the heap; -1 once popped
+	run   Runner
+	index int32 // position in the heap; -1 when popped or free
+	gen   uint32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by time, then by scheduling order, so events at
+// the same instant fire FIFO. (at, seq) pairs are unique, making the
+// firing order independent of heap-internal tie-breaking.
+func (e *event) less(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Clock is a deterministic discrete-event scheduler. Events scheduled
@@ -84,9 +83,16 @@ func (h *eventHeap) Pop() any {
 // use: the whole simulation is single-threaded by design.
 type Clock struct {
 	now  Time
-	heap eventHeap
+	heap []*event
 	seq  uint64
+	free []*event
+	slab []event // bump-allocation tail of the current slab chunk
 }
+
+// slabChunk is the number of events allocated per slab growth. Chunks
+// amortise allocation during warm-up; after the first GC-free steady
+// state is reached the free list recycles events indefinitely.
+const slabChunk = 128
 
 // NewClock returns a clock at time zero with no pending events.
 func NewClock() *Clock { return &Clock{} }
@@ -96,24 +102,69 @@ func (c *Clock) Now() Time { return c.now }
 
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // panics: it would make the simulation non-causal.
-func (c *Clock) At(t Time, fn func()) *Timer {
-	if t < c.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
-	}
-	timer := &Timer{clock: c}
-	c.seq++
-	e := &event{at: t, seq: c.seq, fn: fn, timer: timer}
-	timer.event = e
-	heap.Push(&c.heap, e)
-	return timer
+func (c *Clock) At(t Time, fn func()) Timer {
+	e := c.schedule(t)
+	e.fn = fn
+	return Timer{clock: c, ev: e, gen: e.gen}
+}
+
+// AtRun schedules r.Run at absolute virtual time t. Semantics match At;
+// passing a pooled Runner avoids the closure allocation.
+func (c *Clock) AtRun(t Time, r Runner) Timer {
+	e := c.schedule(t)
+	e.run = r
+	return Timer{clock: c, ev: e, gen: e.gen}
 }
 
 // After schedules fn d seconds from now.
-func (c *Clock) After(d Time, fn func()) *Timer {
+func (c *Clock) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return c.At(c.now+d, fn)
+}
+
+// AfterRun schedules r.Run d seconds from now.
+func (c *Clock) AfterRun(d Time, r Runner) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return c.AtRun(c.now+d, r)
+}
+
+// schedule takes an event from the free list (or slab) and pushes it
+// onto the heap at time t with the next sequence number.
+func (c *Clock) schedule(t Time) *event {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
+	}
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		if len(c.slab) == 0 {
+			c.slab = make([]event, slabChunk)
+		}
+		e = &c.slab[0]
+		c.slab = c.slab[1:]
+	}
+	c.seq++
+	e.at = t
+	e.seq = c.seq
+	c.push(e)
+	return e
+}
+
+// recycle clears an event's callback references and returns it to the
+// free list. The generation bump invalidates outstanding Timer handles.
+func (c *Clock) recycle(e *event) {
+	e.fn = nil
+	e.run = nil
+	e.index = -1
+	e.gen++
+	c.free = append(c.free, e)
 }
 
 // Pending returns the number of events still queued. Cancelled events
@@ -121,19 +172,22 @@ func (c *Clock) After(d Time, fn func()) *Timer {
 func (c *Clock) Pending() int { return len(c.heap) }
 
 // Step fires the next event, advancing the clock, and reports whether
-// an event was fired.
+// an event was fired. The event's callback reference is cleared before
+// the callback runs, so a fired event retains nothing.
 func (c *Clock) Step() bool {
-	for len(c.heap) > 0 {
-		e := heap.Pop(&c.heap).(*event)
-		if e.timer.cancelled {
-			continue // defensive: Cancel removes events eagerly
-		}
-		e.timer.event = nil
-		c.now = e.at
-		e.fn()
-		return true
+	if len(c.heap) == 0 {
+		return false
 	}
-	return false
+	e := c.pop()
+	fn, run := e.fn, e.run
+	c.recycle(e)
+	c.now = e.at
+	if run != nil {
+		run.Run()
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run fires events until none remain. maxEvents guards against runaway
@@ -152,11 +206,7 @@ func (c *Clock) Run(maxEvents int) {
 // RunUntil fires events with timestamps <= deadline, then sets the clock
 // to the deadline.
 func (c *Clock) RunUntil(deadline Time) {
-	for {
-		e := c.peek()
-		if e == nil || e.at > deadline {
-			break
-		}
+	for len(c.heap) > 0 && c.heap[0].at <= deadline {
 		c.Step()
 	}
 	if c.now < deadline {
@@ -164,9 +214,96 @@ func (c *Clock) RunUntil(deadline Time) {
 	}
 }
 
-func (c *Clock) peek() *event {
-	if len(c.heap) > 0 {
-		return c.heap[0]
+// Reset returns the clock to time zero with no pending events. Queued
+// events are cancelled and recycled (their callbacks dropped), and the
+// sequence counter restarts, so a reset clock schedules and fires
+// bit-identically to a freshly constructed one.
+func (c *Clock) Reset() {
+	for _, e := range c.heap {
+		c.recycle(e)
 	}
-	return nil
+	c.heap = c.heap[:0]
+	c.now = 0
+	c.seq = 0
+}
+
+// --- intrusive binary heap over (at, seq) ---
+
+func (c *Clock) push(e *event) {
+	e.index = int32(len(c.heap))
+	c.heap = append(c.heap, e)
+	c.up(len(c.heap) - 1)
+}
+
+func (c *Clock) pop() *event {
+	h := c.heap
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	c.heap = h[:n]
+	if n > 0 {
+		c.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// remove deletes the event at heap position i.
+func (c *Clock) remove(i int32) {
+	h := c.heap
+	n := len(h) - 1
+	e := h[i]
+	if int(i) != n {
+		h[i] = h[n]
+		h[i].index = i
+	}
+	h[n] = nil
+	c.heap = h[:n]
+	if int(i) < n {
+		c.down(int(i))
+		c.up(int(i))
+	}
+	e.index = -1
+}
+
+func (c *Clock) up(i int) {
+	h := c.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = int32(i)
+		i = parent
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+func (c *Clock) down(i int) {
+	h := c.heap
+	n := len(h)
+	e := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && h[r].less(h[l]) {
+			child = r
+		}
+		if !h[child].less(e) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = int32(i)
+		i = child
+	}
+	h[i] = e
+	e.index = int32(i)
 }

@@ -56,8 +56,8 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	var nilTimer *Timer
-	nilTimer.Cancel() // must not panic
+	var zero Timer
+	zero.Cancel() // must not panic
 }
 
 func TestRunUntil(t *testing.T) {
@@ -204,5 +204,108 @@ func TestCancelAfterFire(t *testing.T) {
 	c.Run(10)
 	if len(fired) != 2 {
 		t.Fatalf("fired = %v, want both events", fired)
+	}
+}
+
+// TestStaleTimerHandle pins the generation fencing of recycled events:
+// a Timer held across its event's firing must not cancel the unrelated
+// event that later reuses the same slot.
+func TestStaleTimerHandle(t *testing.T) {
+	c := NewClock()
+	var fired []int
+	stale := c.At(1, func() { fired = append(fired, 1) })
+	if !c.Step() {
+		t.Fatal("no event")
+	}
+	// The slot of the fired event is recycled for the next schedule.
+	c.At(2, func() { fired = append(fired, 2) })
+	stale.Cancel() // stale handle: must be a no-op
+	c.Run(10)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want both events (stale Cancel hit the recycled slot)", fired)
+	}
+}
+
+// TestEventRecycling verifies the free list makes steady-state
+// scheduling allocation-free: after warm-up, schedule+fire cycles do
+// not allocate.
+func TestEventRecycling(t *testing.T) {
+	c := NewClock()
+	tick := 0
+	var loop func()
+	loop = func() {
+		tick++
+		if tick < 2048 {
+			c.After(1, loop)
+		}
+	}
+	c.After(1, loop) // warm up the slab
+	c.Run(5000)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.At(c.Now(), func() {})
+		c.Step()
+	})
+	// The closure itself may allocate; the kernel must not add event or
+	// timer allocations on top.
+	if allocs > 1 {
+		t.Fatalf("schedule+fire allocates %v objects/op, want <= 1 (closure only)", allocs)
+	}
+}
+
+// pooledRunner is a Runner for the AtRun path tests.
+type pooledRunner struct {
+	hits *[]Time
+	c    *Clock
+}
+
+func (r *pooledRunner) Run() { *r.hits = append(*r.hits, r.c.Now()) }
+
+// TestAtRun checks the closure-free Runner path fires like At and
+// interleaves with closure events in (time, seq) order.
+func TestAtRun(t *testing.T) {
+	c := NewClock()
+	var hits []Time
+	r := &pooledRunner{hits: &hits, c: c}
+	c.AtRun(2, r)
+	c.At(1, func() { hits = append(hits, c.Now()) })
+	c.AfterRun(3, r)
+	c.Run(10)
+	if len(hits) != 3 || hits[0] != 1 || hits[1] != 2 || hits[2] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	tm := c.AtRun(5, r)
+	tm.Cancel()
+	c.Run(10)
+	if len(hits) != 3 {
+		t.Fatalf("cancelled Runner event fired: %v", hits)
+	}
+}
+
+// TestClockReset verifies Reset drops pending events, rewinds time and
+// seq, and that a reset clock schedules bit-identically to a fresh one.
+func TestClockReset(t *testing.T) {
+	run := func(c *Clock) []Time {
+		var hits []Time
+		c.At(1, func() { hits = append(hits, c.Now()) })
+		c.At(1, func() { hits = append(hits, c.Now()+0.5) })
+		c.After(2, func() { hits = append(hits, c.Now()) })
+		c.RunUntil(10)
+		return hits
+	}
+	c := NewClock()
+	first := run(c)
+	c.At(20, func() { t.Error("leftover event fired after Reset") })
+	c.Reset()
+	if c.Now() != 0 || c.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d", c.Now(), c.Pending())
+	}
+	second := run(c)
+	if len(first) != len(second) {
+		t.Fatalf("reset run diverged: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset run diverged at %d: %v vs %v", i, first, second)
+		}
 	}
 }

@@ -391,8 +391,18 @@ type Distribution = campaign.Dist
 
 // RunCampaign executes every scenario as an independent simulation on a
 // worker pool; for a fixed seed the report is identical regardless of
-// the worker count.
+// the worker count. The runner keeps one engine per worker and resets
+// it between scenarios (bit-identical to a fresh setup);
+// CampaignConfig.DisableReuse forces the fresh-setup path.
 func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.Run(cfg) }
+
+// BaselineCache memoizes failure-free baseline sink volumes per
+// (key, horizon) across campaigns, so sweep cells sharing a setup run
+// the baseline simulation once (CampaignConfig.Baselines/BaselineKey).
+type BaselineCache = campaign.BaselineCache
+
+// NewBaselineCache returns an empty baseline cache.
+func NewBaselineCache() *BaselineCache { return campaign.NewBaselineCache() }
 
 // CampaignEnvSpec describes a reusable campaign environment (topology,
 // planner, cluster sizing, domain layout).
