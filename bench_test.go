@@ -8,6 +8,7 @@ package repro
 // cmd/ppabench.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/campaign"
@@ -407,10 +408,23 @@ func BenchmarkEngineHotPath(b *testing.B) {
 	}
 }
 
+// retainedHeap forces a collection and returns the live heap, for the
+// bytes_retained metric.
+func retainedHeap() float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc)
+}
+
 // BenchmarkCampaignThroughput measures Monte-Carlo campaign throughput
 // in scenarios/sec: a domain+cascade campaign over the medium topology
 // on the full worker pool, the regime every evaluation figure is
-// regenerated in.
+// regenerated in. Alongside allocs/op it reports bytes_retained — live
+// heap growth across the benchmark after a forced collection — the
+// peak-memory guard for the streaming aggregation path: per-scenario
+// retention shows up here long before it ooms a million-scenario
+// sweep. CI gates on both.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	env := hotPathEnv(b)
 	sample, err := env.Cluster()
@@ -432,6 +446,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 	baseline := 0
 	b.ReportAllocs()
+	before := retainedHeap()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := campaign.Run(campaign.Config{
@@ -446,6 +461,11 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		baseline = rep.BaselineSinkTuples
 	}
 	b.StopTimer()
+	retained := retainedHeap() - before
+	if retained < 0 {
+		retained = 0
+	}
+	b.ReportMetric(retained, "bytes_retained")
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N*len(scs))/secs, "scenarios/s")
 	}

@@ -9,7 +9,11 @@
 // loads a committed baseline (a benchjson JSON file) and exits non-zero
 // when a benchmark present in both runs reports more than -max-regress
 // (default 0.20 = +20%) allocs/op over its baseline. Allocations are
-// deterministic enough to gate in CI, unlike wall-clock ns/op.
+// deterministic enough to gate in CI, unlike wall-clock ns/op. A
+// baseline entry with a bytes_retained metric (live-heap growth, the
+// peak-memory guard of the streaming campaign aggregation) is gated
+// the same way, with 1 MiB of absolute slack on top of the relative
+// limit so tiny GC-timing deltas on near-zero baselines don't flap.
 //
 // Usage:
 //
@@ -61,11 +65,12 @@ func main() {
 	}
 }
 
-// gate compares allocs/op of the current records against the baseline
-// file and fails on a regression beyond maxRegress. Benchmarks missing
-// on either side are skipped (the baseline pins selected benchmarks,
-// not the whole suite); a baseline entry without allocs/op carries no
-// allocation gate.
+// gate compares allocs/op and bytes_retained of the current records
+// against the baseline file and fails on a regression beyond
+// maxRegress. Benchmarks missing on either side are skipped (the
+// baseline pins selected benchmarks, not the whole suite); a baseline
+// entry without allocs/op carries no allocation gate, and one without
+// a bytes_retained metric no retained-heap gate.
 func gate(records []Record, baselinePath string, maxRegress float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -81,21 +86,31 @@ func gate(records []Record, baselinePath string, maxRegress float64) error {
 	}
 	checked := 0
 	for _, b := range baseline {
-		if b.AllocsPerOp <= 0 {
-			continue
-		}
 		r, ok := current[b.Name]
 		if !ok {
 			continue
 		}
-		checked++
-		limit := b.AllocsPerOp * (1 + maxRegress)
-		if r.AllocsPerOp > limit {
-			return fmt.Errorf("%s allocs/op regressed: %.0f vs baseline %.0f (limit %.0f, +%.0f%%)",
-				b.Name, r.AllocsPerOp, b.AllocsPerOp, limit, 100*(r.AllocsPerOp/b.AllocsPerOp-1))
+		if b.AllocsPerOp > 0 {
+			checked++
+			limit := b.AllocsPerOp * (1 + maxRegress)
+			if r.AllocsPerOp > limit {
+				return fmt.Errorf("%s allocs/op regressed: %.0f vs baseline %.0f (limit %.0f, +%.0f%%)",
+					b.Name, r.AllocsPerOp, b.AllocsPerOp, limit, 100*(r.AllocsPerOp/b.AllocsPerOp-1))
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op %.0f within %.0f%% of baseline %.0f\n",
+				b.Name, r.AllocsPerOp, 100*maxRegress, b.AllocsPerOp)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op %.0f within %.0f%% of baseline %.0f\n",
-			b.Name, r.AllocsPerOp, 100*maxRegress, b.AllocsPerOp)
+		if base, gated := b.Metrics["bytes_retained"]; gated {
+			checked++
+			limit := base*(1+maxRegress) + 1<<20
+			got := r.Metrics["bytes_retained"]
+			if got > limit {
+				return fmt.Errorf("%s bytes_retained regressed: %.0f vs baseline %.0f (limit %.0f)",
+					b.Name, got, base, limit)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s bytes_retained %.0f within limit %.0f (baseline %.0f)\n",
+				b.Name, got, limit, base)
+		}
 	}
 	if checked == 0 {
 		return fmt.Errorf("no benchmark in the run matched a gated baseline entry in %s", baselinePath)

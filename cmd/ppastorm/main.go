@@ -14,11 +14,21 @@
 //	ppastorm -scenarios 200 -correlation 0.8 -format json -o sweep.json
 //	ppastorm -placement anti-affinity,round-robin -planners sa,sa-corr
 //	ppastorm -scenarios 500 -cpuprofile cpu.out -memprofile mem.out
+//	ppastorm -scenarios 1000000 -progress -results scenarios.csv -shards 16
 //
 // Sweeping -placement and the *-corr planners prints a head-to-head
 // table: domain-blind round-robin replica placement vs rack
 // anti-affinity, and the worst-case objective vs the correlation-aware
 // one.
+//
+// Aggregation streams: scenario results fold into mergeable quantile
+// sketches in scenario order (sharded by scenario index mod -shards),
+// so memory stays flat however many scenarios run — million-scenario
+// sweeps are a matter of wall clock, not RAM. For a fixed seed and
+// shard count the summary is bit-identical at any -workers. -results
+// streams one row per scenario (CSV, or JSON lines when the path ends
+// in .json/.jsonl) as the sweep runs; -progress keeps a live count on
+// stderr.
 //
 // -cpuprofile / -memprofile write pprof profiles of the sweep, so
 // campaign hot spots can be inspected with `go tool pprof` without a
@@ -26,6 +36,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
@@ -67,6 +78,145 @@ type row struct {
 	Wall             float64       `json:"wall_seconds"`
 }
 
+// scenarioRow is one streamed per-scenario record: the sweep cell it
+// belongs to plus the scenario's own outcome. Written as the sweep
+// runs, so -results files grow with the campaign instead of a
+// post-hoc dump of retained results.
+type scenarioRow struct {
+	Topology      string  `json:"topology"`
+	Planner       string  `json:"planner"`
+	Placement     string  `json:"placement"`
+	Model         string  `json:"model"`
+	Scenario      int     `json:"scenario"`
+	Label         string  `json:"label"`
+	FailedTasks   int     `json:"failed_tasks"`
+	Recovered     bool    `json:"recovered"`
+	LatencyS      float64 `json:"latency_s"`
+	SinkTuples    int     `json:"sink_tuples"`
+	OutputLoss    float64 `json:"output_loss"`
+	TentativeFrac float64 `json:"tentative_frac"`
+	CorrectedFrac float64 `json:"corrected_frac"`
+	Corrections   int     `json:"corrections"`
+}
+
+var scenarioHeader = []string{
+	"topology", "planner", "placement", "model", "scenario", "label",
+	"failed_tasks", "recovered", "latency_s", "sink_tuples", "output_loss",
+	"tentative_frac", "corrected_frac", "corrections",
+}
+
+// resultSink streams scenario rows to a file. CSV by default; JSON
+// lines when the path ends in .json/.jsonl. Writes go through one
+// bufio.Writer shared by every sweep cell, flushed per cell, so a
+// million-scenario sweep performs large sequential writes and retains
+// nothing. The first write error latches and silences later writes;
+// callers check err() once per cell.
+type resultSink struct {
+	f       *os.File
+	bw      *bufio.Writer
+	cw      *csv.Writer // CSV mode
+	enc     *json.Encoder
+	lastErr error
+}
+
+func newResultSink(path string) (*resultSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &resultSink{f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	if strings.HasSuffix(path, ".json") || strings.HasSuffix(path, ".jsonl") {
+		s.enc = json.NewEncoder(s.bw)
+	} else {
+		s.cw = csv.NewWriter(s.bw)
+		if err := s.cw.Write(scenarioHeader); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *resultSink) write(r *scenarioRow) {
+	if s.lastErr != nil {
+		return
+	}
+	if s.enc != nil {
+		s.lastErr = s.enc.Encode(r)
+		return
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	s.lastErr = s.cw.Write([]string{
+		r.Topology, r.Planner, r.Placement, r.Model,
+		strconv.Itoa(r.Scenario), r.Label,
+		strconv.Itoa(r.FailedTasks), strconv.FormatBool(r.Recovered),
+		f(r.LatencyS), strconv.Itoa(r.SinkTuples), f(r.OutputLoss),
+		f(r.TentativeFrac), f(r.CorrectedFrac), strconv.Itoa(r.Corrections),
+	})
+}
+
+// err flushes buffered rows and reports the first error seen.
+func (s *resultSink) err() error {
+	if s.lastErr != nil {
+		return s.lastErr
+	}
+	if s.cw != nil {
+		s.cw.Flush()
+		if err := s.cw.Error(); err != nil {
+			s.lastErr = err
+			return err
+		}
+	}
+	s.lastErr = s.bw.Flush()
+	return s.lastErr
+}
+
+func (s *resultSink) close() error {
+	werr := s.err()
+	cerr := s.f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// progressMeter keeps a live sweep-cell progress line on stderr,
+// throttled to at most one repaint per 200ms (checked every 1000
+// results so the hot path stays a counter increment).
+type progressMeter struct {
+	label string
+	total int
+	n     int
+	start time.Time
+	last  time.Time
+}
+
+func newProgressMeter(label string, total int) *progressMeter {
+	now := time.Now()
+	return &progressMeter{label: label, total: total, start: now, last: now}
+}
+
+func (p *progressMeter) tick() {
+	p.n++
+	if p.n%1000 != 0 {
+		return
+	}
+	if now := time.Now(); now.Sub(p.last) >= 200*time.Millisecond {
+		p.last = now
+		p.print()
+	}
+}
+
+func (p *progressMeter) print() {
+	rate := float64(p.n) / time.Since(p.start).Seconds()
+	fmt.Fprintf(os.Stderr, "\r%s: %d/%d scenarios (%.0f/s)", p.label, p.n, p.total, rate)
+}
+
+func (p *progressMeter) done() {
+	p.print()
+	fmt.Fprintln(os.Stderr)
+}
+
 func main() {
 	var (
 		topos       = flag.String("topos", "medium", "comma-separated topology presets: small, medium, large")
@@ -82,6 +232,9 @@ func main() {
 		failAt      = flag.Float64("fail-at", 30.5, "base failure-injection time (virtual s)")
 		horizon     = flag.Float64("horizon", 150, "simulation horizon per scenario (virtual s)")
 		workers     = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential")
+		shards      = flag.Int("shards", 0, "summary reduction shards; 0 = default. Fixed seed + shards => bit-identical summaries at any -workers")
+		results     = flag.String("results", "", "stream per-scenario rows to this file as the sweep runs (CSV, or JSON lines for .json/.jsonl)")
+		progress    = flag.Bool("progress", false, "print a live per-cell progress line to stderr")
 		format      = flag.String("format", "table", "output format: table, json, csv")
 		out         = flag.String("o", "", "output file (default stdout)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
@@ -140,6 +293,15 @@ func main() {
 		placementList = append(placementList, p)
 	}
 
+	var sink *resultSink
+	if *results != "" {
+		s, err := newResultSink(*results)
+		if err != nil {
+			fatal(err)
+		}
+		sink = s
+	}
+
 	var rows []row
 	// The failure-free baseline depends only on (topology, planner,
 	// horizon) — not on placement or burst model — so one cached
@@ -186,17 +348,59 @@ func main() {
 					if err != nil {
 						fatal(err)
 					}
-					start := time.Now()
-					rep, err := campaign.Run(campaign.Config{
+					cellTopo, cellPlanner := topoName, name
+					cellPlacement, cellModel := placement.String(), model.String()
+					var meter *progressMeter
+					if *progress {
+						meter = newProgressMeter(
+							cellTopo+"/"+cellPlanner+"/"+cellPlacement+"/"+cellModel, len(scs))
+					}
+					cfg := campaign.Config{
 						Setup:       env.SetupFor(placement),
 						Scenarios:   scs,
 						Horizon:     sim.Time(*horizon),
 						Workers:     *workers,
+						Shards:      *shards,
 						Baselines:   baselines,
 						BaselineKey: baseKey,
-					})
+					}
+					if sink != nil || meter != nil {
+						cfg.OnResult = func(r campaign.ScenarioResult) {
+							if sink != nil {
+								sink.write(&scenarioRow{
+									Topology:      cellTopo,
+									Planner:       cellPlanner,
+									Placement:     cellPlacement,
+									Model:         cellModel,
+									Scenario:      r.Scenario.Index,
+									Label:         r.Scenario.Label,
+									FailedTasks:   r.FailedTasks,
+									Recovered:     r.Recovered,
+									LatencyS:      float64(r.WorstLatency),
+									SinkTuples:    r.SinkTuples,
+									OutputLoss:    r.OutputLoss,
+									TentativeFrac: r.TentativeFrac,
+									CorrectedFrac: r.CorrectedFrac,
+									Corrections:   len(r.CorrectionDelays),
+								})
+							}
+							if meter != nil {
+								meter.tick()
+							}
+						}
+					}
+					start := time.Now()
+					rep, err := campaign.Run(cfg)
+					if meter != nil {
+						meter.done()
+					}
 					if err != nil {
 						fatal(err)
+					}
+					if sink != nil {
+						if err := sink.err(); err != nil {
+							fatal(fmt.Errorf("writing %s: %w", *results, err))
+						}
 					}
 					rows = append(rows, row{
 						Topology:         topoName,
@@ -216,6 +420,12 @@ func main() {
 					})
 				}
 			}
+		}
+	}
+
+	if sink != nil {
+		if err := sink.close(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *results, err))
 		}
 	}
 

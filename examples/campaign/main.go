@@ -42,6 +42,14 @@ func main() {
 	// 2. For each burst model, draw 100 seeded scenarios against the
 	// failure-domain tree and run them in parallel. The same seed
 	// always reproduces the same report, whatever the worker count.
+	//
+	// Aggregation streams: each result folds into mergeable quantile
+	// sketches and is then discarded, so the campaign's memory footprint
+	// is flat in the scenario count — this same loop handles a million
+	// scenarios per model. Per-result access without retention goes
+	// through OnResult, which observes every result in scenario order;
+	// here it tallies the slowest recovery instead of keeping 100
+	// results alive. (Set KeepResults to get rep.Results back.)
 	for _, model := range ppa.BurstModels() {
 		scenarios, err := ppa.GenerateScenarios(clus, ppa.ScenarioSpec{
 			Seed:        42,
@@ -52,10 +60,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		var worst ppa.FailureScenario
+		var worstLat ppa.Time
 		rep, err := ppa.RunCampaign(ppa.CampaignConfig{
 			Setup:     env.Setup,
 			Scenarios: scenarios,
 			Horizon:   150,
+			OnResult: func(r ppa.CampaignResult) {
+				if r.Recovered && r.WorstLatency > worstLat {
+					worst, worstLat = r.Scenario, r.WorstLatency
+				}
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -67,6 +82,8 @@ func main() {
 		fmt.Printf("%-10s quality tentative mean=%.4f  corrected mean=%.4f  t2c p50=%5.2fs p95=%5.2fs\n",
 			"", s.TentativeFrac.Mean, s.CorrectedFrac.Mean,
 			s.TimeToCorrection.P50, s.TimeToCorrection.P95)
+		fmt.Printf("%-10s slowest recovery: scenario %d (%s) at %.2fs\n",
+			"", worst.Index, worst.Label, float64(worstLat))
 	}
 
 	// 3. Placement head-to-head: fully replicate the topology and run

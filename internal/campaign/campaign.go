@@ -32,9 +32,32 @@ type Config struct {
 	// Horizon is the virtual run time of each simulation (default 120s).
 	Horizon sim.Time
 	// Workers bounds the worker pool; <=0 selects GOMAXPROCS, 1 runs
-	// sequentially. Results are aggregated in scenario order, so the
-	// campaign is deterministic for a given seed regardless of Workers.
+	// sequentially. Results stream into the reduction shards in
+	// scenario-index order, so the campaign is deterministic for a
+	// given seed and shard count regardless of Workers.
 	Workers int
+	// Shards is the number of reduction shards: scenario i folds into
+	// the summary sketches of shard i mod Shards (in index order), and
+	// the shards merge in shard order into the final Summary. The
+	// summary therefore depends on the shard count — fix it alongside
+	// the seed for bit-reproducible reports — but never on Workers.
+	// <= 0 selects DefaultShards.
+	Shards int
+	// KeepResults retains every ScenarioResult in Report.Results. Off
+	// by default: the streaming aggregation needs only O(Workers +
+	// Shards) memory however many scenarios run, which is what makes
+	// million-scenario sweeps possible; turning this on restores the
+	// old linear-memory behaviour for callers that post-process
+	// individual scenarios.
+	KeepResults bool
+	// OnResult, when set, receives every scenario result in strict
+	// scenario-index order as soon as the reduction frontier reaches
+	// it — the streaming alternative to KeepResults (per-scenario CSV
+	// rows, progress reporting). It is called serially under the
+	// reducer lock: keep it fast, and do not call back into the
+	// campaign. Unless KeepResults is set, the result's
+	// CorrectionDelays slice is pooled and only valid during the call.
+	OnResult func(ScenarioResult)
 	// Baseline is the failure-free sink-tuple volume the loss metric is
 	// measured against; 0 runs one baseline simulation. The baseline
 	// depends only on Setup and Horizon, so sweeps sharing both (e.g.
@@ -119,7 +142,10 @@ type ScenarioResult struct {
 	// the post-recovery amendment layer before the horizon.
 	CorrectedFrac float64
 	// CorrectionDelays are the per-batch times (virtual seconds) from
-	// tentative emission to correction.
+	// tentative emission to correction. On the streaming path (Config.
+	// KeepResults off) the backing array is pooled: inside a
+	// Config.OnResult callback the slice is valid only for the
+	// duration of the call.
 	CorrectionDelays []float64
 }
 
@@ -186,6 +212,8 @@ type Summary struct {
 
 // Report is the full outcome of one campaign.
 type Report struct {
+	// Results holds the per-scenario outcomes only when
+	// Config.KeepResults was set; the streaming default leaves it nil.
 	Results []ScenarioResult
 	Summary Summary
 	// BaselineSinkTuples is the failure-free output volume the loss
@@ -194,8 +222,13 @@ type Report struct {
 }
 
 // Run executes the campaign: one failure-free baseline simulation, then
-// every scenario on the worker pool. For a fixed Config (same scenarios,
-// same Setup semantics) the report is identical regardless of Workers.
+// every scenario on the worker pool, streaming results in scenario
+// order into sharded quantile-sketch accumulators (see Config.Shards).
+// For a fixed Config (same scenarios, same Setup semantics, same shard
+// count) the report is identical regardless of Workers. Memory stays
+// flat in the scenario count unless KeepResults is set. A scenario
+// error aborts the campaign promptly (remaining scenarios are not
+// started) and Run returns the error of the smallest failing index.
 func Run(cfg Config) (*Report, error) {
 	if cfg.Setup == nil {
 		return nil, fmt.Errorf("campaign: no Setup factory")
@@ -226,39 +259,72 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	if base == 0 {
-		baseline, err := runOne(cfg.Setup, pool, nil, horizon)
+		baseline, err := runOne(cfg.Setup, pool, nil, horizon, false)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: baseline run: %w", err)
 		}
-		base = baseline.SinkTuples
+		baseline.release()
+		base = baseline.res.SinkTuples
 		if cfg.Baselines != nil && cfg.BaselineKey != "" {
 			cfg.Baselines.Put(cfg.BaselineKey, horizon, base)
 		}
 	}
 
-	results := make([]ScenarioResult, len(cfg.Scenarios))
-	errs := make([]error, len(cfg.Scenarios))
-	par.Each(len(cfg.Scenarios), cfg.Workers, func(i int) {
-		sc := cfg.Scenarios[i]
-		r, err := runOne(cfg.Setup, pool, sc.Waves, horizon)
-		if err != nil {
-			errs[i] = fmt.Errorf("campaign: scenario %d (%s): %w", sc.Index, sc.Label, err)
-			return
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	aggs := make([]*aggregator, shards)
+	for s := range aggs {
+		aggs[s] = newAggregator()
+	}
+	var results []ScenarioResult
+	if cfg.KeepResults {
+		results = make([]ScenarioResult, len(cfg.Scenarios))
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	window := 4 * workers
+	if window < 16 {
+		window = 16
+	}
+	st := newStreamer(window, func(i int, e *entry) {
+		aggs[i%shards].add(&e.res)
+		if cfg.OnResult != nil {
+			cfg.OnResult(e.res)
 		}
-		r.Scenario = sc
-		if base > 0 {
-			r.OutputLoss = 1 - float64(r.SinkTuples)/float64(base)
+		if cfg.KeepResults {
+			results[i] = e.res
+		} else {
+			e.release()
 		}
-		results[i] = r
 	})
-	for _, err := range errs {
+	err := par.EachErr(len(cfg.Scenarios), cfg.Workers, func(i int) error {
+		sc := cfg.Scenarios[i]
+		e, err := runOne(cfg.Setup, pool, sc.Waves, horizon, cfg.KeepResults)
 		if err != nil {
-			return nil, err
+			st.abort()
+			return fmt.Errorf("campaign: scenario %d (%s): %w", sc.Index, sc.Label, err)
 		}
+		e.res.Scenario = sc
+		if base > 0 {
+			e.res.OutputLoss = 1 - float64(e.res.SinkTuples)/float64(base)
+		}
+		st.deliver(i, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := aggs[0]
+	for s := 1; s < shards; s++ {
+		agg.merge(aggs[s])
 	}
 	return &Report{
 		Results:            results,
-		Summary:            summarise(results),
+		Summary:            agg.summary(),
 		BaselineSinkTuples: base,
 	}, nil
 }
@@ -266,8 +332,11 @@ func Run(cfg Config) (*Report, error) {
 // runOne executes one simulation with the given failure waves, taking a
 // reusable engine from the pool (resetting it) when one is idle and
 // returning it afterwards; with a nil pool every run builds a fresh
-// environment.
-func runOne(setup func() (engine.Setup, error), pool chan *engine.Engine, waves []Wave, horizon sim.Time) (ScenarioResult, error) {
+// environment. With keep false the correction delays land in a pooled
+// buffer (released by entry.release once the reducer streamed them
+// into the time-to-correction sketch) instead of a fresh allocation
+// per scenario.
+func runOne(setup func() (engine.Setup, error), pool chan *engine.Engine, waves []Wave, horizon sim.Time, keep bool) (entry, error) {
 	var e *engine.Engine
 	if pool != nil {
 		select {
@@ -279,11 +348,11 @@ func runOne(setup func() (engine.Setup, error), pool chan *engine.Engine, waves 
 	if e == nil {
 		s, err := setup()
 		if err != nil {
-			return ScenarioResult{}, err
+			return entry{}, err
 		}
 		e, err = engine.New(s)
 		if err != nil {
-			return ScenarioResult{}, err
+			return entry{}, err
 		}
 	}
 	for _, w := range waves {
@@ -298,14 +367,20 @@ func runOne(setup func() (engine.Setup, error), pool chan *engine.Engine, waves 
 			}
 		}
 	}()
-	res := ScenarioResult{Recovered: true, SinkTuples: e.SinkTupleCount()}
+	out := entry{res: ScenarioResult{Recovered: true, SinkTuples: e.SinkTupleCount()}}
+	res := &out.res
 	acc := e.AccuracyStats()
 	res.TentativeFrac = acc.TentativeFraction()
 	res.CorrectedFrac = acc.CorrectedFraction()
 	if n := len(acc.CorrectionDelays); n > 0 {
-		res.CorrectionDelays = make([]float64, n)
-		for i, d := range acc.CorrectionDelays {
-			res.CorrectionDelays[i] = float64(d)
+		if keep {
+			res.CorrectionDelays = make([]float64, 0, n)
+		} else {
+			out.box = delayPool.Get().(*[]float64)
+			res.CorrectionDelays = (*out.box)[:0]
+		}
+		for _, d := range acc.CorrectionDelays {
+			res.CorrectionDelays = append(res.CorrectionDelays, float64(d))
 		}
 	}
 	for _, st := range e.RecoveryStats() {
@@ -318,35 +393,5 @@ func runOne(setup func() (engine.Setup, error), pool chan *engine.Engine, waves 
 			res.WorstLatency = lat
 		}
 	}
-	return res, nil
-}
-
-// summarise reduces the per-scenario results in index order, so the
-// summary is bit-identical across worker counts.
-func summarise(results []ScenarioResult) Summary {
-	sum := Summary{Scenarios: len(results)}
-	var lats, losses, blast, tent, corr, t2c []float64
-	for _, r := range results {
-		losses = append(losses, r.OutputLoss)
-		blast = append(blast, float64(r.FailedTasks))
-		tent = append(tent, r.TentativeFrac)
-		if r.TentativeFrac > 0 {
-			corr = append(corr, r.CorrectedFrac)
-		}
-		t2c = append(t2c, r.CorrectionDelays...)
-		if !r.Recovered {
-			sum.Unrecovered++
-			continue
-		}
-		if r.FailedTasks > 0 {
-			lats = append(lats, float64(r.WorstLatency))
-		}
-	}
-	sum.Latency = NewDist(lats)
-	sum.Loss = NewDist(losses)
-	sum.FailedTasks = NewDist(blast)
-	sum.TentativeFrac = NewDist(tent)
-	sum.CorrectedFrac = NewDist(corr)
-	sum.TimeToCorrection = NewDist(t2c)
-	return sum
+	return out, nil
 }

@@ -123,7 +123,7 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(workers int) *Report {
-		rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 90, Workers: workers})
+		rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 90, Workers: workers, KeepResults: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,9 +150,12 @@ func TestCampaignRecoversAndMeasures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150})
+	rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150, KeepResults: true})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(rep.Results) != 8 {
+		t.Fatalf("KeepResults retained %d of 8 results", len(rep.Results))
 	}
 	if rep.BaselineSinkTuples <= 0 {
 		t.Fatal("baseline produced no sink output")
@@ -216,11 +219,11 @@ func TestCampaignAccuracyMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150})
+	rep, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150, KeepResults: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150, Workers: 1})
+	seq, err := Run(Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 150, Workers: 1, KeepResults: true})
 	if err != nil {
 		t.Fatal(err)
 	}

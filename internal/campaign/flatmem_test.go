@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// heapAlloc forces a collection and returns the live heap.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// TestFlatMemoryCampaignSmoke is the CI memory-ceiling guard: a
+// 100k-scenario streaming campaign whose retained heap must stay
+// within a fixed bound of the pre-campaign baseline, sampled at
+// deterministic points mid-run. If someone reintroduces per-scenario
+// retention (results, pooled delay slices, reorder buffers growing
+// with N) this fails long before the 1M-scenario regime does. Gated
+// behind PPA_FLATMEM_SMOKE=1 because it runs minutes, not seconds —
+// CI's bench-smoke job sets it.
+func TestFlatMemoryCampaignSmoke(t *testing.T) {
+	if os.Getenv("PPA_FLATMEM_SMOKE") == "" {
+		t.Skip("set PPA_FLATMEM_SMOKE=1 to run the 100k-scenario flat-memory smoke")
+	}
+	const scenarios = 100_000
+	// Retained-heap budget above the post-generation baseline. The
+	// streaming path retains only the per-worker engines, the shard
+	// sketches and the bounded reorder window — far below this bound —
+	// while retaining 100k results (the old behaviour) costs tens of
+	// MB and trips it.
+	const budget = 24 << 20
+
+	env := testEnv(t, "greedy")
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := Generate(c, GenSpec{Seed: 13, Scenarios: scenarios, Model: KOfRack, Correlation: DefaultCorrelation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := heapAlloc() // after scenario generation: inputs are not the regression under test
+	var peak uint64
+	var n int
+	rep, err := Run(Config{
+		Setup:     env.Setup,
+		Scenarios: scs,
+		Horizon:   60,
+		OnResult: func(ScenarioResult) {
+			n++
+			if n%20_000 == 0 {
+				if h := heapAlloc(); h > peak {
+					peak = h
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Scenarios != scenarios {
+		t.Fatalf("summary covers %d of %d scenarios", rep.Summary.Scenarios, scenarios)
+	}
+	if h := heapAlloc(); h > peak {
+		peak = h
+	}
+	t.Logf("retained heap: base %.1f MB, peak during campaign %.1f MB (+%.1f MB)",
+		float64(base)/(1<<20), float64(peak)/(1<<20), (float64(peak)-float64(base))/(1<<20))
+	if peak > base+budget {
+		t.Fatalf("retained heap grew %.1f MB over baseline (budget %.1f MB) — scenario-linear retention is back",
+			(float64(peak)-float64(base))/(1<<20), float64(budget)/(1<<20))
+	}
+}
+
+// TestCampaignCrossCheck10k is the acceptance cross-check at real
+// campaign scale: a 10k-scenario run with results kept, whose sketch
+// summary must match the exact NewDist reference within the documented
+// rank-error bound. Gated with the flat-memory smoke (minutes).
+func TestCampaignCrossCheck10k(t *testing.T) {
+	if os.Getenv("PPA_FLATMEM_SMOKE") == "" {
+		t.Skip("set PPA_FLATMEM_SMOKE=1 to run the 10k-scenario cross-check")
+	}
+	env := testEnv(t, "greedy")
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := Generate(c, GenSpec{Seed: 29, Scenarios: 10_000, Model: KOfRack, Correlation: DefaultCorrelation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Setup: env.Setup, Scenarios: scs, Horizon: 60, KeepResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactSummarise(rep.Results)
+	if rep.Summary.Scenarios != exact.Scenarios || rep.Summary.Unrecovered != exact.Unrecovered {
+		t.Fatalf("counts: %d/%d vs exact %d/%d",
+			rep.Summary.Scenarios, rep.Summary.Unrecovered, exact.Scenarios, exact.Unrecovered)
+	}
+	var lats, losses, blast, tent, corr, t2c []float64
+	for _, r := range rep.Results {
+		losses = append(losses, r.OutputLoss)
+		blast = append(blast, float64(r.FailedTasks))
+		tent = append(tent, r.TentativeFrac)
+		if r.TentativeFrac > 0 {
+			corr = append(corr, r.CorrectedFrac)
+		}
+		t2c = append(t2c, r.CorrectionDelays...)
+		if r.Recovered && r.FailedTasks > 0 {
+			lats = append(lats, float64(r.WorstLatency))
+		}
+	}
+	const eps = 2.56 / SketchK
+	checkDistWithinBound(t, "latency", rep.Summary.Latency, exact.Latency, lats, eps)
+	checkDistWithinBound(t, "loss", rep.Summary.Loss, exact.Loss, losses, eps)
+	checkDistWithinBound(t, "failed_tasks", rep.Summary.FailedTasks, exact.FailedTasks, blast, eps)
+	checkDistWithinBound(t, "tentative", rep.Summary.TentativeFrac, exact.TentativeFrac, tent, eps)
+	checkDistWithinBound(t, "corrected", rep.Summary.CorrectedFrac, exact.CorrectedFrac, corr, eps)
+	checkDistWithinBound(t, "t2c", rep.Summary.TimeToCorrection, exact.TimeToCorrection, t2c, eps)
+}

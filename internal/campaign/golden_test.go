@@ -64,16 +64,37 @@ func goldenCampaign(t *testing.T) (*Env, []Scenario) {
 	return env, scs
 }
 
+// summaryHash digests the sketch-path Summary with the same
+// shortest-exact float formatting, so two summaries hash equal iff
+// they are bit-identical.
+func summaryHash(s Summary) string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	h := sha256.New()
+	fmt.Fprintf(h, "scen=%d|unrec=%d\n", s.Scenarios, s.Unrecovered)
+	for _, d := range []Dist{s.Latency, s.Loss, s.FailedTasks, s.TentativeFrac, s.CorrectedFrac, s.TimeToCorrection} {
+		fmt.Fprintf(h, "%s|%s|%s|%s|%s\n", f(d.Mean), f(d.P50), f(d.P95), f(d.P99), f(d.Max))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // goldenWant is the report digest of the pre-refactor engine (computed
 // on main before the allocation-free kernel/dense-state/Reset rework)
 // for the goldenCampaign configuration. Any engine change that alters a
 // single reported bit for fixed seeds changes this hash.
 const goldenWant = "037ed8e09f269984edd39fbe4213b524b9747a358f3b54ae99dfd464c8f7c381"
 
+// goldenSummaryWant pins the sketch-path summary for the golden
+// campaign at 4 reduction shards: the sharded sketch reduction must
+// stay bit-identical across worker counts and engine reuse modes, and
+// across refactors of the sketch itself.
+const goldenSummaryWant = "100eb2208e76407f9f59c31f503fc9dcc152fe1150e87e3e39b89bf70b72902a"
+
 // TestGoldenReportHash pins campaign determinism end to end: the
-// report must be bit-identical to the pre-refactor engine's for every
+// per-scenario results must be bit-identical to the pre-refactor
+// engine's, and the sketch-path summary bit-identical across every
 // combination of worker count (sequential vs full pool) and engine
-// reuse (per-worker Reset vs fresh Setup per scenario).
+// reuse (per-worker Reset vs fresh Setup per scenario), for a fixed
+// shard count.
 func TestGoldenReportHash(t *testing.T) {
 	env, scs := goldenCampaign(t)
 	cases := []struct {
@@ -93,6 +114,8 @@ func TestGoldenReportHash(t *testing.T) {
 				Scenarios:    scs,
 				Horizon:      90,
 				Workers:      c.workers,
+				Shards:       4,
+				KeepResults:  true,
 				DisableReuse: c.disableReuse,
 			})
 			if err != nil {
@@ -100,6 +123,9 @@ func TestGoldenReportHash(t *testing.T) {
 			}
 			if got := goldenHash(rep); got != goldenWant {
 				t.Fatalf("golden hash = %s, want %s", got, goldenWant)
+			}
+			if got := summaryHash(rep.Summary); got != goldenSummaryWant {
+				t.Fatalf("summary hash = %s, want %s", got, goldenSummaryWant)
 			}
 		})
 	}

@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"sync"
+
+	"repro/internal/sketch"
+)
+
+// DefaultShards is the default number of reduction shards. The summary
+// depends on the shard count (sketch state folds per shard), so it is
+// part of a campaign's reproducibility key alongside the seed — but
+// never on Workers.
+const DefaultShards = 8
+
+// SketchK is the accuracy parameter of the campaign summary sketches:
+// quantiles in Summary are within sketch.RankError() (1% of the
+// scenario count for the default 256) of the exact nearest-rank value,
+// and exact outright for campaigns with at most SketchK samples per
+// metric.
+const SketchK = sketch.DefaultK
+
+// delayPool recycles the per-scenario correction-delay buffers on the
+// flat-memory path (KeepResults off): a buffer lives from runOne until
+// the reducer has streamed its delays into the time-to-correction
+// sketch, then returns to the pool.
+var delayPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// entry is one in-flight scenario result awaiting in-order reduction.
+type entry struct {
+	res ScenarioResult
+	// box, when non-nil, is the pooled backing of res.CorrectionDelays,
+	// returned to delayPool after the reducer consumed the delays.
+	box *[]float64
+}
+
+func (e *entry) release() {
+	if e.box != nil {
+		*e.box = e.res.CorrectionDelays[:0]
+		delayPool.Put(e.box)
+		e.box = nil
+		e.res.CorrectionDelays = nil
+	}
+}
+
+// streamer delivers scenario results to a consume function in strict
+// scenario-index order, whatever order the workers finish in. A
+// bounded reorder window applies backpressure: a worker that finished
+// an index far ahead of the reduction frontier blocks until the
+// frontier catches up, so buffered results — the only per-scenario
+// state the campaign retains — stay O(workers), not O(scenarios).
+//
+// Deadlock-freedom: the worker pool claims indices in ascending order,
+// so the scenario at the frontier (next) is always already claimed by
+// some worker; that worker's deliver never blocks (i == next bypasses
+// the window check), and consuming it advances the frontier and wakes
+// the blocked ones.
+type streamer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    int
+	window  int
+	pending map[int]entry
+	aborted bool
+	consume func(i int, e *entry)
+}
+
+func newStreamer(window int, consume func(int, *entry)) *streamer {
+	st := &streamer{
+		window:  window,
+		pending: make(map[int]entry),
+		consume: consume,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// deliver hands the result of scenario i to the reducer. It blocks
+// while i is more than window ahead of the reduction frontier. The
+// consume callback runs under the streamer lock — serially, in index
+// order.
+func (st *streamer) deliver(i int, e entry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for !st.aborted && i != st.next && i-st.next >= st.window {
+		st.cond.Wait()
+	}
+	if st.aborted {
+		e.release()
+		return
+	}
+	if i != st.next {
+		st.pending[i] = e
+		return
+	}
+	st.consume(i, &e)
+	st.next++
+	for {
+		ne, ok := st.pending[st.next]
+		if !ok {
+			break
+		}
+		delete(st.pending, st.next)
+		st.consume(st.next, &ne)
+		st.next++
+	}
+	st.cond.Broadcast()
+}
+
+// abort releases every waiter and drops all buffered results; called
+// on the first scenario error so the fail-fast campaign cannot wedge
+// workers blocked on the reorder window.
+func (st *streamer) abort() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.aborted = true
+	for i, e := range st.pending {
+		e.release()
+		delete(st.pending, i)
+	}
+	st.cond.Broadcast()
+}
+
+// aggregator folds scenario results of one reduction shard into
+// mergeable summary sketches — constant memory per shard, independent
+// of the scenario count.
+type aggregator struct {
+	scenarios   int
+	unrecovered int
+	lat         *sketch.Sketch
+	loss        *sketch.Sketch
+	blast       *sketch.Sketch
+	tent        *sketch.Sketch
+	corr        *sketch.Sketch
+	t2c         *sketch.Sketch
+}
+
+// newAggregator builds one shard accumulator. Every shard seeds each
+// metric's sketch identically, so shard sketches merge into the same
+// deterministic state regardless of which shard the merge starts from.
+func newAggregator() *aggregator {
+	return &aggregator{
+		lat:   sketch.NewSeeded(SketchK, 1),
+		loss:  sketch.NewSeeded(SketchK, 2),
+		blast: sketch.NewSeeded(SketchK, 3),
+		tent:  sketch.NewSeeded(SketchK, 4),
+		corr:  sketch.NewSeeded(SketchK, 5),
+		t2c:   sketch.NewSeeded(SketchK, 6),
+	}
+}
+
+// add folds one scenario result (same metric semantics as the old
+// exact summarise: latency only over recovered scenarios that lost
+// tasks, corrected fraction only over scenarios with tentative
+// output, delays pooled across scenarios).
+func (a *aggregator) add(r *ScenarioResult) {
+	a.scenarios++
+	a.loss.Add(r.OutputLoss)
+	a.blast.Add(float64(r.FailedTasks))
+	a.tent.Add(r.TentativeFrac)
+	if r.TentativeFrac > 0 {
+		a.corr.Add(r.CorrectedFrac)
+	}
+	for _, d := range r.CorrectionDelays {
+		a.t2c.Add(d)
+	}
+	if !r.Recovered {
+		a.unrecovered++
+		return
+	}
+	if r.FailedTasks > 0 {
+		a.lat.Add(float64(r.WorstLatency))
+	}
+}
+
+// merge folds shard b into a (called in shard order).
+func (a *aggregator) merge(b *aggregator) {
+	a.scenarios += b.scenarios
+	a.unrecovered += b.unrecovered
+	a.lat.Merge(b.lat)
+	a.loss.Merge(b.loss)
+	a.blast.Merge(b.blast)
+	a.tent.Merge(b.tent)
+	a.corr.Merge(b.corr)
+	a.t2c.Merge(b.t2c)
+}
+
+func (a *aggregator) summary() Summary {
+	return Summary{
+		Scenarios:        a.scenarios,
+		Unrecovered:      a.unrecovered,
+		Latency:          distOf(a.lat),
+		Loss:             distOf(a.loss),
+		FailedTasks:      distOf(a.blast),
+		TentativeFrac:    distOf(a.tent),
+		CorrectedFrac:    distOf(a.corr),
+		TimeToCorrection: distOf(a.t2c),
+	}
+}
+
+// distOf renders one metric sketch as the summary distribution. Mean
+// and Max are exact; quantiles carry the sketch's rank-error bound.
+func distOf(s *sketch.Sketch) Dist {
+	if s.Count() == 0 {
+		return Dist{}
+	}
+	return Dist{
+		Mean: s.Mean(),
+		P50:  s.Quantile(0.50),
+		P95:  s.Quantile(0.95),
+		P99:  s.Quantile(0.99),
+		Max:  s.Max(),
+	}
+}

@@ -21,6 +21,10 @@ import (
 // on one chart: domain-blind round-robin replica placement vs rack
 // anti-affinity, and the worst-case planners vs the correlation-aware
 // *-corr variants. A nil placements slice sweeps both policies.
+//
+// The sweep reads only each campaign's streamed Summary — per-scenario
+// results are never retained — so memory stays flat in n and
+// million-scenario cells are purely a wall-clock cost.
 func DomainSweep(planners []string, placements []cluster.PlacementPolicy, n int, seed int64) (Result, error) {
 	if len(placements) == 0 {
 		placements = cluster.PlacementPolicies

@@ -21,6 +21,63 @@ func Map[T any](n, workers int, fn func(int) T) []T {
 	return out
 }
 
+// EachErr runs fn(i) for every i in [0, n) on up to workers goroutines
+// and fails fast: after any fn returns a non-nil error, no further
+// index is claimed; indices already claimed still run to completion.
+// Because the cursor claims indices in ascending order, every index
+// below the first failing one has executed, so the returned error is
+// deterministically the one with the smallest index regardless of the
+// worker count. workers <= 0 selects GOMAXPROCS; workers == 1 runs
+// inline (and stops at the first error).
+func EachErr(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx int
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // Each runs fn(i) for every i in [0, n) on up to workers goroutines.
 // workers <= 0 selects GOMAXPROCS; workers == 1 runs inline.
 func Each(n, workers int, fn func(int)) {

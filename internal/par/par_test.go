@@ -1,0 +1,83 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		var hits [257]atomic.Int32
+		Each(len(hits), workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+// TestEachErrSmallestIndex: the returned error is deterministically the
+// one with the smallest index, at any worker count, even when a larger
+// failing index is reached first.
+func TestEachErrSmallestIndex(t *testing.T) {
+	failing := map[int]bool{3: true, 7: true, 900: true}
+	for _, workers := range []int{1, 2, 8, 0} {
+		err := EachErr(1000, workers, func(i int) error {
+			if failing[i] {
+				return fmt.Errorf("index %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3" {
+			t.Fatalf("workers=%d: err = %v, want index 3", workers, err)
+		}
+	}
+}
+
+// TestEachErrFailFast: after the first error, workers stop claiming
+// new indices — a long run aborts promptly instead of draining the
+// whole index space.
+func TestEachErrFailFast(t *testing.T) {
+	const n = 100_000
+	var executed atomic.Int64
+	boom := errors.New("boom")
+	err := EachErr(n, 8, func(i int) error {
+		executed.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Indices claimed before the stop flag flips are bounded by the
+	// failing prefix plus in-flight workers (with generous slack).
+	if got := executed.Load(); got > 1000 {
+		t.Fatalf("%d of %d indices executed after an index-5 error", got, n)
+	}
+}
+
+func TestEachErrNilError(t *testing.T) {
+	var count atomic.Int64
+	if err := EachErr(500, 4, func(int) error { count.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 500 {
+		t.Fatalf("executed %d of 500", count.Load())
+	}
+}

@@ -1,0 +1,330 @@
+// Package sketch implements a deterministic, mergeable streaming
+// quantile sketch in the KLL family (Karnin, Lang, Liberty: "Optimal
+// Quantile Approximation in Streams"). It is the aggregation unit of
+// the failure campaigns: each reduction shard folds its scenarios into
+// one Sketch per metric at O(k log(n/k)) memory — independent of the
+// stream length — and shards merge in shard order into the campaign
+// summary. Because a Sketch is a pure function of its operation
+// sequence (Add/Merge calls in order), two campaigns that feed the
+// shards identically produce bit-identical summaries at any worker
+// count; the sketch is also the natural wire unit for a future
+// coordinator/worker split.
+//
+// Determinism. Classic KLL flips random coins during compaction. This
+// implementation draws its coins from a splitmix64 counter seeded at
+// construction, so the sketch is fully deterministic and order-stable:
+// same seed, same operation sequence, same state. The counter advances
+// once per coin, and Merge folds the other sketch's counter into the
+// receiver's, keeping merged state deterministic too.
+//
+// Accuracy. Compacting a level of n items with weight w keeps every
+// other item at weight 2w, perturbing any rank by at most w. Summed
+// over the geometrically shrinking levels this yields the standard KLL
+// additive rank-error bound epsilon*n with epsilon = O(1/k); for the
+// default K = 256 the documented bound is RankError() = 1% of the
+// stream length, enforced by property tests against exact references
+// on random and adversarial streams. Streams of at most k items are
+// never compacted, so small samples are summarised exactly. Count,
+// Sum (hence Mean), Min and Max are always exact.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultK is the default accuracy parameter: the capacity of the
+// highest (most recently fed) compactor level. Memory grows linearly
+// with K; the rank-error bound shrinks as 1/K.
+const DefaultK = 256
+
+// Sketch is a deterministic mergeable streaming quantile sketch.
+// The zero value is not usable; construct with New or NewSeeded.
+type Sketch struct {
+	k    int
+	seed uint64
+	coin uint64 // compaction-coin counter (advances once per flip)
+
+	// levels[l] holds items of weight 1<<l; level 0 receives Adds.
+	levels [][]float64
+	size   int // total stored items across levels
+
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// New returns an empty sketch with accuracy parameter k (DefaultK when
+// k <= 0) and seed 0.
+func New(k int) *Sketch { return NewSeeded(k, 0) }
+
+// NewSeeded returns an empty sketch with an explicit compaction-coin
+// seed. Sketches that are merged together should share a seed (the
+// campaign gives each metric its own).
+func NewSeeded(k int, seed uint64) *Sketch {
+	if k <= 0 {
+		k = DefaultK
+	}
+	if k < 8 {
+		k = 8
+	}
+	return &Sketch{k: k, seed: seed}
+}
+
+// K returns the accuracy parameter.
+func (s *Sketch) K() int { return s.k }
+
+// RankError returns the sketch's documented additive rank-error bound
+// as a fraction of the stream length: a Quantile(q) answer is an item
+// whose true rank is within RankError()*Count() of ceil(q*Count()).
+// Streams of at most K items are exact (error 0).
+func (s *Sketch) RankError() float64 {
+	if s.count <= uint64(s.k) {
+		return 0
+	}
+	return 2.56 / float64(s.k)
+}
+
+// Count returns the number of items added (exact, merge-safe).
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the exact running sum of every item added.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Mean returns Sum/Count (0 for an empty sketch).
+func (s *Sketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the exact minimum (0 for an empty sketch).
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the exact maximum (0 for an empty sketch).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Reset restores the empty state, retaining level backing arrays and
+// the seed (the coin counter restarts, so a reset sketch replays a
+// stream bit-identically to a fresh one).
+func (s *Sketch) Reset() {
+	for l := range s.levels {
+		s.levels[l] = s.levels[l][:0]
+	}
+	s.levels = s.levels[:0]
+	s.size, s.coin = 0, 0
+	s.count, s.sum = 0, 0
+	s.min, s.max = 0, 0
+}
+
+// Add feeds one item into the sketch.
+func (s *Sketch) Add(x float64) {
+	if s.count == 0 || x < s.min {
+		s.min = x
+	}
+	if s.count == 0 || x > s.max {
+		s.max = x
+	}
+	s.count++
+	s.sum += x
+	if len(s.levels) == 0 {
+		s.addLevel()
+	}
+	s.levels[0] = append(s.levels[0], x)
+	s.size++
+	s.compress()
+}
+
+// Merge folds o into s; o is left untouched. Both sketches keep their
+// documented error bound; merging is deterministic for a fixed merge
+// order (the campaign merges shards in shard order). The receiver's
+// accuracy parameter is tightened to the smaller of the two.
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if o.k < s.k {
+		s.k = o.k
+	}
+	if s.count == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.count == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.sum += o.sum
+	s.coin += o.coin
+	for l, lvl := range o.levels {
+		if len(lvl) == 0 {
+			continue
+		}
+		for len(s.levels) <= l {
+			s.addLevel()
+		}
+		s.levels[l] = append(s.levels[l], lvl...)
+		s.size += len(lvl)
+	}
+	s.compress()
+}
+
+// Quantile returns an item of the stream whose rank approximates the
+// nearest-rank quantile q in [0, 1]: for an uncompacted sketch it is
+// exactly the item at rank ceil(q*Count()); after compaction the rank
+// error is bounded by RankError()*Count(). q <= 0 yields the exact
+// minimum, q >= 1 the exact maximum; an empty sketch yields 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	r := uint64(math.Ceil(q * float64(s.count)))
+	if r < 1 {
+		r = 1
+	}
+	if r >= s.count {
+		return s.max
+	}
+	type weighted struct {
+		v float64
+		w uint64
+	}
+	items := make([]weighted, 0, s.size)
+	for l, lvl := range s.levels {
+		w := uint64(1) << uint(l)
+		for _, v := range lvl {
+			items = append(items, weighted{v, w})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	var cum uint64
+	for _, it := range items {
+		cum += it.w
+		if cum >= r {
+			return it.v
+		}
+	}
+	return s.max
+}
+
+// String describes the sketch state (for debugging and tests).
+func (s *Sketch) String() string {
+	return fmt.Sprintf("sketch{k=%d n=%d stored=%d levels=%d}", s.k, s.count, s.size, len(s.levels))
+}
+
+// addLevel extends the level stack by one empty level, reusing the
+// backing array a Reset left behind when possible.
+func (s *Sketch) addLevel() {
+	if len(s.levels) < cap(s.levels) {
+		s.levels = s.levels[:len(s.levels)+1]
+		s.levels[len(s.levels)-1] = s.levels[len(s.levels)-1][:0]
+	} else {
+		s.levels = append(s.levels, nil)
+	}
+}
+
+// capacity returns the item capacity of level l: the top level holds k
+// items and each level below shrinks by 2/3 (never under 2) — the KLL
+// geometric compactor schedule.
+func (s *Sketch) capacity(l int) int {
+	c := float64(s.k)
+	for d := len(s.levels) - 1 - l; d > 0; d-- {
+		c *= 2.0 / 3.0
+	}
+	if c < 2 {
+		return 2
+	}
+	return int(math.Ceil(c))
+}
+
+func (s *Sketch) totalCapacity() int {
+	t := 0
+	for l := range s.levels {
+		t += s.capacity(l)
+	}
+	return t
+}
+
+// compress compacts the lowest over-capacity level until the total
+// stored size fits the capacity schedule again.
+func (s *Sketch) compress() {
+	for s.size > s.totalCapacity() {
+		compacted := false
+		for l := 0; l < len(s.levels); l++ {
+			if len(s.levels[l]) > s.capacity(l) && len(s.levels[l]) >= 2 {
+				s.compact(l)
+				compacted = true
+				break
+			}
+		}
+		if !compacted {
+			return
+		}
+	}
+}
+
+// compact sorts level l and promotes every other item (deterministic
+// coin offset) to level l+1 at doubled weight; an odd leftover stays
+// at level l, its end chosen by a second coin so neither extreme is
+// systematically favoured.
+func (s *Sketch) compact(l int) {
+	b := s.levels[l]
+	sort.Float64s(b)
+	keepLeftover := len(b)%2 == 1
+	var leftover float64
+	if keepLeftover {
+		if s.flip() == 0 {
+			leftover = b[0]
+			b = b[1:]
+		} else {
+			leftover = b[len(b)-1]
+			b = b[:len(b)-1]
+		}
+	}
+	if l+1 == len(s.levels) {
+		s.addLevel()
+	}
+	off := s.flip()
+	for i := off; i < len(b); i += 2 {
+		s.levels[l+1] = append(s.levels[l+1], b[i])
+	}
+	s.size -= len(b) / 2
+	dst := s.levels[l][:0]
+	if keepLeftover {
+		dst = append(dst, leftover)
+	}
+	s.levels[l] = dst
+}
+
+// flip draws one deterministic coin from the seeded splitmix64 counter.
+func (s *Sketch) flip() int {
+	s.coin++
+	return int(mix64(s.seed+s.coin*0x9e3779b97f4a7c15) & 1)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,333 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank reference (campaign.NewDist's
+// convention): the item at rank ceil(q*n) of the sorted sample.
+func exactQuantile(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+// rankRange returns the [lo, hi] 1-based rank range the value occupies
+// in the sorted sample (a range, not a point, because of duplicates).
+func rankRange(sorted []float64, v float64) (int, int) {
+	lo := sort.SearchFloat64s(sorted, v)
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	return lo + 1, hi
+}
+
+// checkRankError asserts every quantile answer of s lands within
+// eps*n ranks of the exact nearest-rank target on the sorted sample.
+func checkRankError(t *testing.T, name string, s *Sketch, sorted []float64, eps float64) {
+	t.Helper()
+	n := len(sorted)
+	slack := int(math.Ceil(eps * float64(n)))
+	for _, q := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+		got := s.Quantile(q)
+		target := int(math.Ceil(q * float64(n)))
+		if target < 1 {
+			target = 1
+		}
+		lo, hi := rankRange(sorted, got)
+		if hi == 0 || lo > hi {
+			t.Fatalf("%s: q=%v answer %v not in stream", name, q, got)
+		}
+		if lo-slack > target || hi+slack < target {
+			t.Errorf("%s: q=%v answer %v occupies ranks [%d,%d], target %d, slack %d",
+				name, q, got, lo, hi, target, slack)
+		}
+	}
+}
+
+// streams builds the named test stream of length n.
+func stream(name string, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	switch name {
+	case "uniform":
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+	case "gaussian":
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+	case "ascending":
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+	case "descending":
+		for i := range xs {
+			xs[i] = float64(n - i)
+		}
+	case "organ-pipe":
+		for i := range xs {
+			if i%2 == 0 {
+				xs[i] = float64(i)
+			} else {
+				xs[i] = float64(n - i)
+			}
+		}
+	case "constant":
+		for i := range xs {
+			xs[i] = 42
+		}
+	case "heavy-duplicates":
+		for i := range xs {
+			xs[i] = float64(rng.Intn(10))
+		}
+	case "pareto-tail":
+		for i := range xs {
+			xs[i] = math.Pow(1-rng.Float64(), -2)
+		}
+	default:
+		panic("unknown stream " + name)
+	}
+	return xs
+}
+
+var streamNames = []string{
+	"uniform", "gaussian", "ascending", "descending",
+	"organ-pipe", "constant", "heavy-duplicates", "pareto-tail",
+}
+
+// TestExactSmallSamples: streams of at most K items are never
+// compacted, so every quantile matches the exact nearest-rank
+// reference bit for bit, and RankError reports 0.
+func TestExactSmallSamples(t *testing.T) {
+	for _, name := range streamNames {
+		for _, n := range []int{1, 2, 3, 17, 100, DefaultK} {
+			s := New(0)
+			xs := stream(name, n, 7)
+			for _, x := range xs {
+				s.Add(x)
+			}
+			if got := s.RankError(); got != 0 {
+				t.Fatalf("%s n=%d: RankError = %v, want 0", name, n, got)
+			}
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			for _, q := range []float64{0, 0.001, 0.25, 0.5, 0.95, 0.99, 1} {
+				want := exactQuantile(sorted, q)
+				if got := s.Quantile(q); got != want {
+					t.Errorf("%s n=%d q=%v: got %v, want exact %v", name, n, q, got, want)
+				}
+			}
+			if s.Min() != sorted[0] || s.Max() != sorted[n-1] {
+				t.Errorf("%s n=%d: min/max %v/%v, want %v/%v", name, n, s.Min(), s.Max(), sorted[0], sorted[n-1])
+			}
+		}
+	}
+}
+
+// TestRankErrorBound: the documented bound holds on random and
+// adversarial streams long enough to force many compactions.
+func TestRankErrorBound(t *testing.T) {
+	sizes := []int{10_000, 100_000}
+	if testing.Short() {
+		sizes = []int{10_000}
+	}
+	for _, name := range streamNames {
+		for _, n := range sizes {
+			for seed := int64(1); seed <= 3; seed++ {
+				s := NewSeeded(0, uint64(seed))
+				xs := stream(name, n, seed)
+				for _, x := range xs {
+					s.Add(x)
+				}
+				sorted := append([]float64(nil), xs...)
+				sort.Float64s(sorted)
+				checkRankError(t, name, s, sorted, s.RankError())
+			}
+		}
+	}
+}
+
+// TestExactAggregates: Count, Sum, Min and Max stay exact at any
+// stream length and across merges.
+func TestExactAggregates(t *testing.T) {
+	xs := stream("uniform", 50_000, 3)
+	var sum float64
+	s := New(64)
+	o := New(64)
+	for i, x := range xs {
+		sum += x
+		if i%2 == 0 {
+			s.Add(x)
+		} else {
+			o.Add(x)
+		}
+	}
+	s.Merge(o)
+	if s.Count() != uint64(len(xs)) {
+		t.Fatalf("count %d, want %d", s.Count(), len(xs))
+	}
+	if math.Abs(s.Sum()-sum) > 1e-9*math.Abs(sum) {
+		t.Fatalf("sum %v, want %v", s.Sum(), sum)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if s.Min() != sorted[0] || s.Max() != sorted[len(xs)-1] {
+		t.Fatalf("min/max %v/%v, want %v/%v", s.Min(), s.Max(), sorted[0], sorted[len(xs)-1])
+	}
+}
+
+// shardFold splits xs round-robin over nShards sketches (fed in index
+// order, the campaign's contract) and left-folds them in shard order.
+func shardFold(xs []float64, nShards int, seed uint64) *Sketch {
+	shards := make([]*Sketch, nShards)
+	for i := range shards {
+		shards[i] = NewSeeded(0, seed)
+	}
+	for i, x := range xs {
+		shards[i%nShards].Add(x)
+	}
+	out := shards[0]
+	for _, sh := range shards[1:] {
+		out.Merge(sh)
+	}
+	return out
+}
+
+// TestShardFoldDeterminism: the campaign's reduction shape — shards fed
+// in index order, merged in shard order — is bit-reproducible, run
+// after run, for any shard count.
+func TestShardFoldDeterminism(t *testing.T) {
+	xs := stream("gaussian", 30_000, 11)
+	for _, nShards := range []int{1, 2, 8, 13} {
+		a := shardFold(xs, nShards, 5)
+		b := shardFold(xs, nShards, 5)
+		for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+			if av, bv := a.Quantile(q), b.Quantile(q); av != bv {
+				t.Fatalf("shards=%d q=%v: %v vs %v across identical folds", nShards, q, av, bv)
+			}
+		}
+		if a.Count() != b.Count() || a.Sum() != b.Sum() || a.coin != b.coin {
+			t.Fatalf("shards=%d: diverging sketch state", nShards)
+		}
+	}
+}
+
+// TestMergeOrderWithinBound: merging the same shards in any order (and
+// any association) still satisfies the documented rank-error bound —
+// approximate commutativity/associativity, the property that lets a
+// future coordinator fold worker sketches as they arrive.
+func TestMergeOrderWithinBound(t *testing.T) {
+	xs := stream("uniform", 40_000, 17)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	const nShards = 8
+	build := func() []*Sketch {
+		shards := make([]*Sketch, nShards)
+		for i := range shards {
+			shards[i] = NewSeeded(0, 5)
+		}
+		for i, x := range xs {
+			shards[i%nShards].Add(x)
+		}
+		return shards
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		shards := build()
+		order := rng.Perm(nShards)
+		out := shards[order[0]]
+		for _, i := range order[1:] {
+			out.Merge(shards[i])
+		}
+		if out.Count() != uint64(len(xs)) {
+			t.Fatalf("trial %d: count %d", trial, out.Count())
+		}
+		checkRankError(t, "merge-order", out, sorted, out.RankError())
+	}
+	// Tree-shaped association.
+	shards := build()
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {4, 6}, {0, 4}} {
+		shards[pair[0]].Merge(shards[pair[1]])
+	}
+	checkRankError(t, "merge-tree", shards[0], sorted, shards[0].RankError())
+}
+
+// TestMergeIntoEmpty: folding shards into a fresh empty sketch (the
+// campaign's final reduction) preserves the bound and the aggregates.
+func TestMergeIntoEmpty(t *testing.T) {
+	xs := stream("pareto-tail", 20_000, 23)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	shards := make([]*Sketch, 4)
+	for i := range shards {
+		shards[i] = NewSeeded(0, 5)
+	}
+	for i, x := range xs {
+		shards[i%4].Add(x)
+	}
+	out := NewSeeded(0, 5)
+	for _, sh := range shards {
+		out.Merge(sh)
+	}
+	if out.Count() != uint64(len(xs)) {
+		t.Fatalf("count %d", out.Count())
+	}
+	checkRankError(t, "merge-empty", out, sorted, out.RankError())
+}
+
+// TestReset: a reset sketch replays a stream bit-identically to a
+// fresh one, and empty-state accessors return zeros.
+func TestReset(t *testing.T) {
+	s := NewSeeded(32, 9)
+	for _, x := range stream("uniform", 5_000, 1) {
+		s.Add(x)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Sum() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("reset sketch not empty: %s", s)
+	}
+	fresh := NewSeeded(32, 9)
+	xs := stream("gaussian", 5_000, 2)
+	for _, x := range xs {
+		s.Add(x)
+		fresh.Add(x)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a, b := s.Quantile(q), fresh.Quantile(q); a != b {
+			t.Fatalf("q=%v: reset replay %v differs from fresh %v", q, a, b)
+		}
+	}
+}
+
+// TestMemoryFlat: stored items stay bounded by the capacity schedule —
+// growing the stream 100x must not grow the stored footprint.
+func TestMemoryFlat(t *testing.T) {
+	s := New(0)
+	for _, x := range stream("uniform", 10_000, 1) {
+		s.Add(x)
+	}
+	at10k := s.size
+	for _, x := range stream("uniform", 990_000, 2) {
+		s.Add(x)
+	}
+	if s.size > at10k*2 {
+		t.Fatalf("stored items grew with the stream: %d at 10k vs %d at 1M", at10k, s.size)
+	}
+	if s.size > 4*s.k {
+		t.Fatalf("stored %d items, far above the O(k) schedule for k=%d", s.size, s.k)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(0)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Float64())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/randtopo"
 	"repro/internal/sim"
+	"repro/internal/sketch"
 	"repro/internal/topology"
 )
 
@@ -375,26 +376,64 @@ func GenerateScenarios(c *Cluster, spec ScenarioSpec) ([]FailureScenario, error)
 	return campaign.Generate(c, spec)
 }
 
-// CampaignConfig describes a Monte-Carlo failure campaign.
+// CampaignConfig describes a Monte-Carlo failure campaign. Campaigns
+// aggregate by streaming: results fold into mergeable quantile
+// sketches in scenario order and are then discarded, so memory stays
+// flat however many scenarios run. Set KeepResults to retain
+// CampaignReport.Results, or OnResult to observe each result (in
+// scenario-index order) without retaining it; Shards fixes the
+// reduction layout — for a fixed seed and shard count the summary is
+// bit-identical at any Workers.
 type CampaignConfig = campaign.Config
 
-// CampaignReport is the outcome of a campaign: per-scenario results
-// plus aggregated recovery-latency, output-loss and answer-quality
-// (tentative/corrected fraction, time-to-correction) distributions.
+// CampaignReport is the outcome of a campaign: aggregated
+// recovery-latency, output-loss and answer-quality (tentative/
+// corrected fraction, time-to-correction) distributions, plus the
+// per-scenario results when CampaignConfig.KeepResults is set.
 type CampaignReport = campaign.Report
 
-// CampaignSummary aggregates a campaign (mean/p50/p95/p99).
+// CampaignSummary aggregates a campaign (mean/p50/p95/p99). Counts,
+// Mean and Max are exact; quantiles carry the sketch's rank-error
+// bound (see QuantileSketch) and are exact for campaigns with at most
+// DefaultSketchK samples per metric.
 type CampaignSummary = campaign.Summary
+
+// CampaignResult is one scenario's outcome, as retained in
+// CampaignReport.Results or streamed to CampaignConfig.OnResult.
+type CampaignResult = campaign.ScenarioResult
 
 // Distribution summarises one sample distribution.
 type Distribution = campaign.Dist
 
 // RunCampaign executes every scenario as an independent simulation on a
-// worker pool; for a fixed seed the report is identical regardless of
-// the worker count. The runner keeps one engine per worker and resets
-// it between scenarios (bit-identical to a fresh setup);
-// CampaignConfig.DisableReuse forces the fresh-setup path.
+// worker pool; for a fixed seed (and shard count) the report is
+// identical regardless of the worker count. The runner keeps one
+// engine per worker and resets it between scenarios (bit-identical to
+// a fresh setup); CampaignConfig.DisableReuse forces the fresh-setup
+// path. A scenario error aborts the campaign promptly without
+// draining the remaining scenarios.
 func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.Run(cfg) }
+
+// QuantileSketch is the deterministic mergeable streaming quantile
+// sketch campaign summaries are built on (KLL-style). Count, Sum, Min
+// and Max are exact; Quantile carries a rank-error bound of
+// RankError()*n ranks, and is exact while the stream fits in the
+// sketch (at most k items). For one compression parameter k, identical
+// Add/Merge sequences yield bit-identical sketches.
+type QuantileSketch = sketch.Sketch
+
+// DefaultSketchK is the default sketch compression parameter
+// (rank error about 1%), also used by campaign summaries.
+const DefaultSketchK = sketch.DefaultK
+
+// NewQuantileSketch returns an empty sketch with compression
+// parameter k (0 selects DefaultSketchK).
+func NewQuantileSketch(k int) *QuantileSketch { return sketch.New(k) }
+
+// NewSeededQuantileSketch returns an empty sketch whose compaction
+// coin flips derive from seed — distinct parallel sketches that must
+// stay deterministic under merge should use distinct seeds.
+func NewSeededQuantileSketch(k int, seed uint64) *QuantileSketch { return sketch.NewSeeded(k, seed) }
 
 // BaselineCache memoizes failure-free baseline sink volumes per
 // (key, horizon) across campaigns, so sweep cells sharing a setup run
