@@ -15,6 +15,9 @@
 //	ppastorm -placement anti-affinity,round-robin -planners sa,sa-corr
 //	ppastorm -scenarios 500 -cpuprofile cpu.out -memprofile mem.out
 //	ppastorm -scenarios 1000000 -progress -results scenarios.csv -shards 16
+//	ppastorm -role coordinator -workers-proc 4 -scenarios 100000
+//	ppastorm -role coordinator -listen :7077 -workers-proc 2
+//	ppastorm -role worker -connect host:7077
 //
 // Sweeping -placement and the *-corr planners prints a head-to-head
 // table: domain-blind round-robin replica placement vs rack
@@ -33,17 +36,32 @@
 // -cpuprofile / -memprofile write pprof profiles of the sweep, so
 // campaign hot spots can be inspected with `go tool pprof` without a
 // throwaway harness.
+//
+// -role distributes the sweep across processes. A coordinator
+// (-role coordinator) spawns -workers-proc local worker processes —
+// or, with -listen, waits for -workers-proc remote workers started
+// with -role worker -connect — then runs every sweep cell through the
+// pool: each campaign is shipped as a self-contained spec (scenarios
+// are regenerated from seeds, never transferred), shard-aligned
+// scenario ranges are farmed out and their serialised sketch states
+// merged, so the output is bit-identical to the single-process run
+// for the same -seed and -shards. Workers that die mid-sweep have
+// their ranges reassigned to survivors. -results and -progress need
+// the per-scenario stream and are single-process only.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -52,6 +70,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
+	"repro/internal/coord"
 	"repro/internal/sim"
 )
 
@@ -239,8 +258,68 @@ func main() {
 		out         = flag.String("o", "", "output file (default stdout)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile  = flag.String("memprofile", "", "write a pprof allocation profile of the sweep to this file")
+		role        = flag.String("role", "", "process role: empty = single-process sweep, coordinator = distribute cells over a worker pool, worker = serve campaigns for a coordinator")
+		workersProc = flag.Int("workers-proc", 2, "coordinator: worker processes to spawn (or, with -listen, remote workers to wait for)")
+		listen      = flag.String("listen", "", "coordinator: accept remote workers on this TCP address instead of spawning local processes")
+		connectTo   = flag.String("connect", "", "worker: dial the coordinator at this TCP address instead of serving stdin/stdout")
 	)
 	flag.Parse()
+
+	if *role == "worker" {
+		var err error
+		if *connectTo != "" {
+			err = coord.Connect(context.Background(), *connectTo, coord.WorkerOptions{})
+		} else {
+			err = coord.ServeWorker(context.Background(), os.Stdin, os.Stdout, coord.WorkerOptions{})
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var pool *coord.Pool
+	switch *role {
+	case "":
+	case "coordinator":
+		if *results != "" || *progress {
+			fatal(fmt.Errorf("-results and -progress stream per-scenario rows, which stay inside the worker processes; drop them or run without -role coordinator"))
+		}
+		if *workersProc < 1 {
+			fatal(fmt.Errorf("-workers-proc must be at least 1, got %d", *workersProc))
+		}
+		pool = coord.NewPool(coord.PoolOptions{})
+		defer pool.Close()
+		if *listen != "" {
+			ln, err := net.Listen("tcp", *listen)
+			if err != nil {
+				fatal(err)
+			}
+			defer ln.Close()
+			fmt.Fprintf(os.Stderr, "ppastorm: waiting for %d workers on %s\n", *workersProc, ln.Addr())
+			if err := pool.AcceptWorkers(ln, *workersProc); err != nil {
+				fatal(err)
+			}
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				fatal(err)
+			}
+			for i := 0; i < *workersProc; i++ {
+				if _, err := pool.AddProcess(exec.Command(exe, "-role", "worker")); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := pool.WaitReady(ctx, *workersProc); err != nil {
+			cancel()
+			fatal(fmt.Errorf("waiting for %d workers: %w", *workersProc, err))
+		}
+		cancel()
+	default:
+		fatal(fmt.Errorf("unknown -role %q (coordinator, worker)", *role))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -306,7 +385,10 @@ func main() {
 	// The failure-free baseline depends only on (topology, planner,
 	// horizon) — not on placement or burst model — so one cached
 	// baseline simulation serves every cell of a (topo, planner) sweep.
+	// Distributed sweeps cache the coordinator-resolved sink volume the
+	// same way and ship it with every later cell's spec.
 	baselines := campaign.NewBaselineCache()
+	distBaselines := map[string]int{}
 	for _, topoName := range splitList(*topos) {
 		topo, err := campaign.PresetTopology(topoName, *topoSeed)
 		if err != nil {
@@ -321,85 +403,116 @@ func main() {
 			// of replica placement, so the placement sweep reuses it
 			// via SetupFor instead of re-planning per policy. The
 			// failure-free baseline is likewise placement-independent
-			// and shared across placements and models.
-			env, err := campaign.NewEnv(campaign.EnvSpec{
-				Topo:      topo,
-				Planner:   planner,
-				Fraction:  *fraction,
-				Tentative: *tentative,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			sample, err := env.Cluster()
-			if err != nil {
-				fatal(err)
+			// and shared across placements and models. A coordinator
+			// never builds the env — workers rebuild it from each
+			// cell's wire spec.
+			var env *campaign.Env
+			var sample *cluster.Cluster
+			if pool == nil {
+				e, err := campaign.NewEnv(campaign.EnvSpec{
+					Topo:      topo,
+					Planner:   planner,
+					Fraction:  *fraction,
+					Tentative: *tentative,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				env = e
+				sample, err = env.Cluster()
+				if err != nil {
+					fatal(err)
+				}
 			}
 			baseKey := topoName + "/" + name
 			for _, placement := range placementList {
 				for _, model := range modelList {
-					scs, err := campaign.Generate(sample, campaign.GenSpec{
+					gen := campaign.GenSpec{
 						Seed:        *seed,
 						Scenarios:   *scenarios,
 						Model:       model,
 						FailAt:      campaign.Ptr(sim.Time(*failAt)),
 						Correlation: *correlation,
-					})
-					if err != nil {
-						fatal(err)
 					}
-					cellTopo, cellPlanner := topoName, name
-					cellPlacement, cellModel := placement.String(), model.String()
-					var meter *progressMeter
-					if *progress {
-						meter = newProgressMeter(
-							cellTopo+"/"+cellPlanner+"/"+cellPlacement+"/"+cellModel, len(scs))
-					}
-					cfg := campaign.Config{
-						Setup:       env.SetupFor(placement),
-						Scenarios:   scs,
-						Horizon:     sim.Time(*horizon),
-						Workers:     *workers,
-						Shards:      *shards,
-						Baselines:   baselines,
-						BaselineKey: baseKey,
-					}
-					if sink != nil || meter != nil {
-						cfg.OnResult = func(r campaign.ScenarioResult) {
-							if sink != nil {
-								sink.write(&scenarioRow{
-									Topology:      cellTopo,
-									Planner:       cellPlanner,
-									Placement:     cellPlacement,
-									Model:         cellModel,
-									Scenario:      r.Scenario.Index,
-									Label:         r.Scenario.Label,
-									FailedTasks:   r.FailedTasks,
-									Recovered:     r.Recovered,
-									LatencyS:      float64(r.WorstLatency),
-									SinkTuples:    r.SinkTuples,
-									OutputLoss:    r.OutputLoss,
-									TentativeFrac: r.TentativeFrac,
-									CorrectedFrac: r.CorrectedFrac,
-									Corrections:   len(r.CorrectionDelays),
-								})
-							}
-							if meter != nil {
-								meter.tick()
+					var rep *campaign.Report
+					start := time.Now()
+					if pool != nil {
+						wire, err := campaign.NewWireSpec(campaign.EnvSpec{
+							Topo:      topo,
+							Planner:   planner,
+							Fraction:  *fraction,
+							Placement: placement,
+							Tentative: *tentative,
+						}, []campaign.GenSpec{gen})
+						if err != nil {
+							fatal(err)
+						}
+						wire.Horizon = sim.Time(*horizon)
+						wire.Workers = *workers
+						wire.Shards = *shards
+						wire.Baseline = distBaselines[baseKey]
+						rep, err = pool.RunJob(context.Background(), wire)
+						if err != nil {
+							fatal(err)
+						}
+						distBaselines[baseKey] = rep.BaselineSinkTuples
+					} else {
+						scs, err := campaign.Generate(sample, gen)
+						if err != nil {
+							fatal(err)
+						}
+						cellTopo, cellPlanner := topoName, name
+						cellPlacement, cellModel := placement.String(), model.String()
+						var meter *progressMeter
+						if *progress {
+							meter = newProgressMeter(
+								cellTopo+"/"+cellPlanner+"/"+cellPlacement+"/"+cellModel, len(scs))
+						}
+						cfg := campaign.Config{
+							Setup:       env.SetupFor(placement),
+							Scenarios:   scs,
+							Horizon:     sim.Time(*horizon),
+							Workers:     *workers,
+							Shards:      *shards,
+							Baselines:   baselines,
+							BaselineKey: baseKey,
+						}
+						if sink != nil || meter != nil {
+							cfg.OnResult = func(r campaign.ScenarioResult) {
+								if sink != nil {
+									sink.write(&scenarioRow{
+										Topology:      cellTopo,
+										Planner:       cellPlanner,
+										Placement:     cellPlacement,
+										Model:         cellModel,
+										Scenario:      r.Scenario.Index,
+										Label:         r.Scenario.Label,
+										FailedTasks:   r.FailedTasks,
+										Recovered:     r.Recovered,
+										LatencyS:      float64(r.WorstLatency),
+										SinkTuples:    r.SinkTuples,
+										OutputLoss:    r.OutputLoss,
+										TentativeFrac: r.TentativeFrac,
+										CorrectedFrac: r.CorrectedFrac,
+										Corrections:   len(r.CorrectionDelays),
+									})
+								}
+								if meter != nil {
+									meter.tick()
+								}
 							}
 						}
-					}
-					start := time.Now()
-					rep, err := campaign.Run(cfg)
-					if meter != nil {
-						meter.done()
-					}
-					if err != nil {
-						fatal(err)
-					}
-					if sink != nil {
-						if err := sink.err(); err != nil {
-							fatal(fmt.Errorf("writing %s: %w", *results, err))
+						rep, err = campaign.Run(cfg)
+						if meter != nil {
+							meter.done()
+						}
+						if err != nil {
+							fatal(err)
+						}
+						if sink != nil {
+							if err := sink.err(); err != nil {
+								fatal(fmt.Errorf("writing %s: %w", *results, err))
+							}
 						}
 					}
 					rows = append(rows, row{

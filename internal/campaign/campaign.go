@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -8,7 +9,6 @@ import (
 	"sync"
 
 	"repro/internal/engine"
-	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -36,12 +36,18 @@ type Config struct {
 	// scenario-index order, so the campaign is deterministic for a
 	// given seed and shard count regardless of Workers.
 	Workers int
-	// Shards is the number of reduction shards: scenario i folds into
-	// the summary sketches of shard i mod Shards (in index order), and
-	// the shards merge in shard order into the final Summary. The
-	// summary therefore depends on the shard count — fix it alongside
-	// the seed for bit-reproducible reports — but never on Workers.
-	// <= 0 selects DefaultShards.
+	// Shards is the number of reduction shards. The scenario index
+	// space is cut into Shards contiguous blocks of ceil(N/Shards)
+	// scenarios: scenario i folds (in index order) into the summary
+	// sketches of shard i/blockSize, and the shards merge in shard
+	// order into the final Summary. Block ownership makes every shard's
+	// state a pure function of (scenario list, Shards) alone — a
+	// contiguous scenario range owns whole shards, which is what lets a
+	// distributed campaign (Partition/RunRangeContext/MergeShardStates)
+	// reproduce the single-process Summary bit for bit. The summary
+	// therefore depends on the shard count — fix it alongside the seed
+	// for bit-reproducible reports — but never on Workers or on how
+	// ranges were assigned to processes. <= 0 selects DefaultShards.
 	Shards int
 	// KeepResults retains every ScenarioResult in Report.Results. Off
 	// by default: the streaming aggregation needs only O(Workers +
@@ -221,6 +227,102 @@ type Report struct {
 	BaselineSinkTuples int
 }
 
+// ConfigError reports one invalid Config field from Validate: which
+// field, and why. Errors returned by Run/RunContext/Partition/
+// RunRangeContext for configuration mistakes unwrap to this type.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("campaign: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration and returns a *ConfigError naming
+// the first invalid field, or nil. Run, RunContext, Partition and
+// RunRangeContext all validate with it, so configuration mistakes
+// surface the same typed error on every execution path.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Setup == nil:
+		return &ConfigError{"Setup", "no engine setup factory"}
+	case len(cfg.Scenarios) == 0:
+		return &ConfigError{"Scenarios", "no scenarios"}
+	case cfg.Horizon < 0:
+		return &ConfigError{"Horizon", fmt.Sprintf("negative horizon %v", cfg.Horizon)}
+	case cfg.Baseline < 0:
+		return &ConfigError{"Baseline", fmt.Sprintf("negative baseline volume %d", cfg.Baseline)}
+	case cfg.BaselineKey != "" && cfg.Baselines == nil:
+		return &ConfigError{"BaselineKey", "set without a Baselines cache"}
+	}
+	return nil
+}
+
+// resolved returns the config with defaulted execution parameters
+// (horizon, worker count, shard count) filled in.
+func (cfg Config) resolved() Config {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 120
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	return cfg
+}
+
+// newEnginePool builds the per-campaign engine free list: one engine
+// per worker, reset between scenarios. A buffered channel serves as
+// the free list — a worker takes any idle engine (Reset makes them
+// interchangeable) and falls back to a fresh Setup when none is idle
+// yet. Nil when reuse is disabled. cfg must be resolved.
+func newEnginePool(cfg Config) chan *engine.Engine {
+	if cfg.DisableReuse {
+		return nil
+	}
+	return make(chan *engine.Engine, cfg.Workers)
+}
+
+// resolveBaseline returns the failure-free sink volume the loss metric
+// is measured against: the explicit Config.Baseline, a BaselineCache
+// hit, or one baseline simulation (whose engine seeds the pool). cfg
+// must be resolved.
+func resolveBaseline(cfg Config, pool chan *engine.Engine) (int, error) {
+	if cfg.Baseline > 0 {
+		return cfg.Baseline, nil
+	}
+	if cfg.Baselines != nil && cfg.BaselineKey != "" {
+		if v, ok := cfg.Baselines.Get(cfg.BaselineKey, cfg.Horizon); ok {
+			return v, nil
+		}
+	}
+	baseline, err := runOne(cfg.Setup, pool, nil, cfg.Horizon, false)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: baseline run: %w", err)
+	}
+	baseline.release()
+	base := baseline.res.SinkTuples
+	if cfg.Baselines != nil && cfg.BaselineKey != "" {
+		cfg.Baselines.Put(cfg.BaselineKey, cfg.Horizon, base)
+	}
+	return base, nil
+}
+
+// BaselineVolume computes (or fetches from the cache) the campaign's
+// failure-free baseline sink volume without running any scenarios. The
+// coordinator of a distributed campaign calls it once and ships the
+// volume to every worker, so all ranges measure loss against the same
+// baseline the single-process run would use.
+func BaselineVolume(cfg Config) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return resolveBaseline(cfg.resolved(), nil)
+}
+
 // Run executes the campaign: one failure-free baseline simulation, then
 // every scenario on the worker pool, streaming results in scenario
 // order into sharded quantile-sketch accumulators (see Config.Shards).
@@ -230,96 +332,31 @@ type Report struct {
 // error aborts the campaign promptly (remaining scenarios are not
 // started) and Run returns the error of the smallest failing index.
 func Run(cfg Config) (*Report, error) {
-	if cfg.Setup == nil {
-		return nil, fmt.Errorf("campaign: no Setup factory")
-	}
-	if len(cfg.Scenarios) == 0 {
-		return nil, fmt.Errorf("campaign: no scenarios")
-	}
-	horizon := cfg.Horizon
-	if horizon == 0 {
-		horizon = 120
-	}
-	// One engine per worker, reset between scenarios. A buffered channel
-	// serves as the free list: a worker takes any idle engine (Reset
-	// makes them interchangeable) and falls back to a fresh Setup when
-	// none is idle yet.
-	var pool chan *engine.Engine
-	if !cfg.DisableReuse {
-		workers := cfg.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		pool = make(chan *engine.Engine, workers)
-	}
-	base := cfg.Baseline
-	if base == 0 && cfg.Baselines != nil && cfg.BaselineKey != "" {
-		if v, ok := cfg.Baselines.Get(cfg.BaselineKey, horizon); ok {
-			base = v
-		}
-	}
-	if base == 0 {
-		baseline, err := runOne(cfg.Setup, pool, nil, horizon, false)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: baseline run: %w", err)
-		}
-		baseline.release()
-		base = baseline.res.SinkTuples
-		if cfg.Baselines != nil && cfg.BaselineKey != "" {
-			cfg.Baselines.Put(cfg.BaselineKey, horizon, base)
-		}
-	}
+	return RunContext(context.Background(), cfg)
+}
 
-	shards := cfg.Shards
-	if shards <= 0 {
-		shards = DefaultShards
+// RunContext is Run with cancellation: once ctx is done no further
+// scenario is started (simulations already in flight finish first) and
+// the context's error is returned — unless a scenario failed before
+// the cancellation, in which case that error wins. The coordinator's
+// per-worker cancel, a caller's timeout, and fail-fast abort all share
+// this one mechanism.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	aggs := make([]*aggregator, shards)
-	for s := range aggs {
-		aggs[s] = newAggregator()
+	cfg = cfg.resolved()
+	pool := newEnginePool(cfg)
+	base, err := resolveBaseline(cfg, pool)
+	if err != nil {
+		return nil, err
 	}
-	var results []ScenarioResult
-	if cfg.KeepResults {
-		results = make([]ScenarioResult, len(cfg.Scenarios))
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	window := 4 * workers
-	if window < 16 {
-		window = 16
-	}
-	st := newStreamer(window, func(i int, e *entry) {
-		aggs[i%shards].add(&e.res)
-		if cfg.OnResult != nil {
-			cfg.OnResult(e.res)
-		}
-		if cfg.KeepResults {
-			results[i] = e.res
-		} else {
-			e.release()
-		}
-	})
-	err := par.EachErr(len(cfg.Scenarios), cfg.Workers, func(i int) error {
-		sc := cfg.Scenarios[i]
-		e, err := runOne(cfg.Setup, pool, sc.Waves, horizon, cfg.KeepResults)
-		if err != nil {
-			st.abort()
-			return fmt.Errorf("campaign: scenario %d (%s): %w", sc.Index, sc.Label, err)
-		}
-		e.res.Scenario = sc
-		if base > 0 {
-			e.res.OutputLoss = 1 - float64(e.res.SinkTuples)/float64(base)
-		}
-		st.deliver(i, e)
-		return nil
-	})
+	aggs, results, err := runShards(ctx, cfg, Range{0, len(cfg.Scenarios)}, pool, base)
 	if err != nil {
 		return nil, err
 	}
 	agg := aggs[0]
-	for s := 1; s < shards; s++ {
+	for s := 1; s < len(aggs); s++ {
 		agg.merge(aggs[s])
 	}
 	return &Report{

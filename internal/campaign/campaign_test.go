@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -281,11 +282,38 @@ func TestCampaignAccuracyMetrics(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	env := testEnv(t, "")
-	if _, err := Run(Config{Scenarios: []Scenario{{}}}); err == nil {
-		t.Error("missing Setup accepted")
+	scs := []Scenario{{}}
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"missing Setup", Config{Scenarios: scs}, "Setup"},
+		{"empty scenario list", Config{Setup: env.Setup}, "Scenarios"},
+		{"negative horizon", Config{Setup: env.Setup, Scenarios: scs, Horizon: -1}, "Horizon"},
+		{"negative baseline", Config{Setup: env.Setup, Scenarios: scs, Baseline: -5}, "Baseline"},
+		{"baseline key without cache", Config{Setup: env.Setup, Scenarios: scs, BaselineKey: "k"}, "BaselineKey"},
 	}
-	if _, err := Run(Config{Setup: env.Setup}); err == nil {
-		t.Error("empty scenario list accepted")
+	for _, c := range cases {
+		_, err := Run(c.cfg)
+		if err == nil {
+			t.Errorf("%s accepted", c.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", c.name, err)
+			continue
+		}
+		if ce.Field != c.field {
+			t.Errorf("%s: error names field %q, want %q", c.name, ce.Field, c.field)
+		}
+		if got := c.cfg.Validate(); got == nil || got.Error() != err.Error() {
+			t.Errorf("%s: Validate() = %v, Run error = %v", c.name, got, err)
+		}
+	}
+	if err := (Config{Setup: env.Setup, Scenarios: scs, Horizon: 90}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
 	}
 }
 

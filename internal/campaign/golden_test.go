@@ -86,8 +86,11 @@ const goldenWant = "037ed8e09f269984edd39fbe4213b524b9747a358f3b54ae99dfd464c8f7
 // goldenSummaryWant pins the sketch-path summary for the golden
 // campaign at 4 reduction shards: the sharded sketch reduction must
 // stay bit-identical across worker counts and engine reuse modes, and
-// across refactors of the sketch itself.
-const goldenSummaryWant = "100eb2208e76407f9f59c31f503fc9dcc152fe1150e87e3e39b89bf70b72902a"
+// across refactors of the sketch itself. (Recomputed when shard
+// ownership moved from i mod Shards to contiguous blocks — the mapping
+// that makes distributed ranges merge bit-identically; the
+// per-scenario goldenWant was unaffected.)
+const goldenSummaryWant = "ae131174de61b8ac4d6b547a4eabbf6bb0e39480867db3e1948bdb264748c5a6"
 
 // TestGoldenReportHash pins campaign determinism end to end: the
 // per-scenario results must be bit-identical to the pre-refactor

@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPartitionCoversAligned: partitions cover the index space exactly
+// once with contiguous, shard-block-aligned ranges, for assorted
+// scenario counts, shard counts and part counts.
+func TestPartitionCoversAligned(t *testing.T) {
+	for _, tc := range []struct{ n, shards, parts int }{
+		{10, 4, 2}, {10, 4, 100}, {1, 1, 1}, {7, 8, 3}, {1000, 8, 5},
+		{1000, 16, 16}, {12, 4, 3}, {12, 4, 4}, {5000, 8, 7},
+	} {
+		cfg := Config{Scenarios: make([]Scenario, tc.n), Shards: tc.shards}
+		ranges, err := Partition(cfg, tc.parts)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(ranges) == 0 || len(ranges) > tc.parts {
+			t.Fatalf("%+v: %d ranges", tc, len(ranges))
+		}
+		block := blockSize(tc.n, tc.shards)
+		next := 0
+		for _, r := range ranges {
+			if r.Lo != next {
+				t.Fatalf("%+v: range %s does not continue at %d", tc, r, next)
+			}
+			if err := r.validate(tc.n, block); err != nil {
+				t.Fatalf("%+v: %v", tc, err)
+			}
+			next = r.Hi
+		}
+		if next != tc.n {
+			t.Fatalf("%+v: partition ends at %d of %d", tc, next, tc.n)
+		}
+	}
+	if _, err := Partition(Config{}, 2); err == nil {
+		t.Fatal("empty scenario list accepted")
+	}
+	if _, err := Partition(Config{Scenarios: make([]Scenario, 5)}, 0); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+}
+
+// TestRangeMergeMatchesRun is the heart of the distributed-campaign
+// determinism guarantee, in process: running the golden campaign as
+// shard-aligned ranges (each returning serialised shard states, pushed
+// through a JSON round trip as on the wire) and merging the states
+// must reproduce the single-process Summary bit for bit, for several
+// partitionings — including ranges executed in scrambled order.
+func TestRangeMergeMatchesRun(t *testing.T) {
+	env, scs := goldenCampaign(t)
+	cfg := Config{Setup: env.Setup, Scenarios: scs, Horizon: 90, Shards: 4}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Baseline = want.BaselineSinkTuples // skip redundant baseline re-runs
+	for _, parts := range []int{1, 2, 3, 4} {
+		ranges, err := Partition(cfg, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var states []ShardState
+		// Execute ranges back to front: state order must not matter.
+		for i := len(ranges) - 1; i >= 0; i-- {
+			st, err := RunRange(cfg, ranges[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded []ShardState
+			if err := json.Unmarshal(b, &decoded); err != nil {
+				t.Fatal(err)
+			}
+			states = append(states, decoded...)
+		}
+		sum, err := MergeShardStates(states)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != want.Summary {
+			t.Fatalf("parts=%d: merged summary differs from single-process run:\n%+v\n%+v", parts, sum, want.Summary)
+		}
+		if got, wantH := summaryHash(sum), summaryHash(want.Summary); got != wantH {
+			t.Fatalf("parts=%d: summary hash %s, want %s", parts, got, wantH)
+		}
+	}
+}
+
+// TestRunRangeRejections: misaligned ranges and KeepResults are typed
+// errors on the range path.
+func TestRunRangeRejections(t *testing.T) {
+	env, scs := goldenCampaign(t) // 12 scenarios; Shards 4 -> block 3
+	cfg := Config{Setup: env.Setup, Scenarios: scs, Horizon: 90, Shards: 4, Baseline: 1}
+	if _, err := RunRange(cfg, Range{1, 6}); err == nil {
+		t.Error("misaligned range accepted")
+	}
+	if _, err := RunRange(cfg, Range{0, 24}); err == nil {
+		t.Error("out-of-space range accepted")
+	}
+	keep := cfg
+	keep.KeepResults = true
+	_, err := RunRange(keep, Range{0, 3})
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "KeepResults" {
+		t.Errorf("KeepResults on the range path: err = %v, want ConfigError{KeepResults}", err)
+	}
+}
+
+// TestMergeShardStatesErrors: empty input, duplicate shards and
+// corrupted sketch bytes are rejected.
+func TestMergeShardStatesErrors(t *testing.T) {
+	env, scs := goldenCampaign(t)
+	cfg := Config{Setup: env.Setup, Scenarios: scs, Horizon: 90, Shards: 4, Baseline: 1000}
+	states, err := RunRange(cfg, Range{0, len(scs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShardStates(nil); err == nil {
+		t.Error("empty state list accepted")
+	}
+	if _, err := MergeShardStates(append(states, states[0])); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	bad := append([]ShardState(nil), states...)
+	bad[1].Loss = bad[1].Loss[:len(bad[1].Loss)-3]
+	if _, err := MergeShardStates(bad); err == nil {
+		t.Error("corrupted sketch state accepted")
+	}
+}
+
+// TestRunContextCancel: a cancelled context stops the campaign
+// promptly (scenarios in flight finish, the rest are never started)
+// and surfaces the context error; a pre-cancelled context runs
+// nothing.
+func TestRunContextCancel(t *testing.T) {
+	env := testEnv(t, "")
+	c, err := env.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := Generate(c, GenSpec{Seed: 3, Scenarios: 5000, Model: SingleNode, Correlation: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	_, err = RunContext(ctx, Config{
+		Setup:     env.Setup,
+		Scenarios: scenarios,
+		Horizon:   40,
+		Workers:   4,
+		OnResult: func(ScenarioResult) {
+			if done.Add(1) == 10 {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := done.Load(); n > 500 {
+		t.Fatalf("%d of 5000 scenarios ran after cancellation at 10", n)
+	}
+
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := RunContext(pre, Config{Setup: env.Setup, Scenarios: scenarios, Horizon: 40, Baseline: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err = %v", err)
+	}
+}

@@ -121,7 +121,8 @@ func reduceSynthetic(t *testing.T, results []ScenarioResult, workers, shards int
 	for s := range aggs {
 		aggs[s] = newAggregator()
 	}
-	st := newStreamer(64, func(i int, e *entry) { aggs[i%shards].add(&e.res) })
+	block := blockSize(len(results), shards)
+	st := newStreamer(64, func(i int, e *entry) { aggs[i/block].add(&e.res) })
 	par.Each(len(results), workers, func(i int) {
 		st.deliver(i, entry{res: results[i]})
 	})

@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestWireSpecRoundTrip: a campaign rebuilt from a WireSpec after a
+// JSON round trip — topology flattened to its spec, placement to its
+// name, scenarios regenerated from seeds — reports bit-identically to
+// the locally built golden campaign. This is the fidelity guarantee
+// the coordinator/worker protocol rests on: a worker that only ever
+// saw the wire bytes runs the same campaign as the coordinator.
+func TestWireSpecRoundTrip(t *testing.T) {
+	env, scs := goldenCampaign(t)
+	want, err := Run(Config{Setup: env.Setup, Scenarios: scs, Horizon: 90, Shards: 4, KeepResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := NewWireSpec(EnvSpec{Topo: env.spec.Topo, Planner: "greedy", Tentative: true}, []GenSpec{
+		{Seed: 7, Scenarios: 6, Model: WholeDomain, Correlation: DefaultCorrelation},
+		{Seed: 7, Scenarios: 6, Model: Cascade, Correlation: DefaultCorrelation},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Horizon = 90
+	spec.Shards = 4
+
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded WireSpec
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := decoded.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Scenarios) != len(scs) {
+		t.Fatalf("rebuilt %d scenarios, want %d", len(cfg.Scenarios), len(scs))
+	}
+	cfg.KeepResults = true
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaselineSinkTuples != want.BaselineSinkTuples {
+		t.Fatalf("baseline %d, want %d", got.BaselineSinkTuples, want.BaselineSinkTuples)
+	}
+	if gh, wh := goldenHash(got), goldenHash(want); gh != wh {
+		t.Fatalf("per-scenario golden hash %s, want %s", gh, wh)
+	}
+	if got.Summary != want.Summary {
+		t.Fatalf("summary differs:\n%+v\n%+v", got.Summary, want.Summary)
+	}
+}
+
+// TestWireSpecPlacementRoundTrip: both placement policies survive the
+// name round trip, and the empty name defaults to anti-affinity.
+func TestWireSpecPlacementRoundTrip(t *testing.T) {
+	env, _ := goldenCampaign(t)
+	for _, p := range []cluster.PlacementPolicy{cluster.PlacementAntiAffinity, cluster.PlacementRoundRobin} {
+		spec, err := NewWireSpec(EnvSpec{Topo: env.spec.Topo, Placement: p}, []GenSpec{{Seed: 1, Scenarios: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := spec.EnvSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if es.Placement != p {
+			t.Errorf("placement %v round-tripped to %v", p, es.Placement)
+		}
+	}
+	def := WireSpec{}
+	if _, err := def.EnvSpec(); err == nil {
+		t.Error("empty wire topology accepted")
+	}
+	if _, err := NewWireSpec(EnvSpec{Topo: env.spec.Topo}, nil); err == nil {
+		t.Error("wire spec without generation batches accepted")
+	}
+}

@@ -138,17 +138,6 @@ func (c *Cluster) NodeOf(id topology.TaskID) NodeID { return c.placement[id] }
 // task order. The returned slice must not be modified.
 func (c *Cluster) TasksOn(id NodeID) []topology.TaskID { return c.tasksOn[id] }
 
-// PlaceReplicasRoundRobin distributes active replicas of the given tasks
-// over the standby nodes in task order, ignoring failure domains.
-//
-// Deprecated: this is a compatibility wrapper around
-// PlaceReplicas(tasks, PlacementRoundRobin); new code should call
-// PlaceReplicas and almost always wants PlacementAntiAffinity, which
-// keeps a replica out of its primary's failure domain.
-func (c *Cluster) PlaceReplicasRoundRobin(tasks []topology.TaskID) error {
-	return c.PlaceReplicas(tasks, PlacementRoundRobin)
-}
-
 // ReplicaNodeOf returns the standby node hosting the task's active
 // replica, if any.
 func (c *Cluster) ReplicaNodeOf(id topology.TaskID) (NodeID, bool) {

@@ -102,7 +102,7 @@ func TestFailAllProcessing(t *testing.T) {
 func TestReplicaPlacement(t *testing.T) {
 	c := New(2, 3)
 	tasks := []topology.TaskID{5, 1, 3}
-	if err := c.PlaceReplicasRoundRobin(tasks); err != nil {
+	if err := c.PlaceReplicas(tasks, PlacementRoundRobin); err != nil {
 		t.Fatal(err)
 	}
 	seen := map[NodeID]int{}
@@ -122,7 +122,7 @@ func TestReplicaPlacement(t *testing.T) {
 	if _, ok := c.ReplicaNodeOf(99); ok {
 		t.Error("unknown task has replica node")
 	}
-	if err := New(2, 0).PlaceReplicasRoundRobin(tasks); err == nil {
+	if err := New(2, 0).PlaceReplicas(tasks, PlacementRoundRobin); err == nil {
 		t.Error("replica placement without standby nodes accepted")
 	}
 }

@@ -1,0 +1,494 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// PoolOptions tunes the coordinator.
+type PoolOptions struct {
+	// HeartbeatTimeout declares a worker lost when no message (result
+	// or heartbeat) arrives from it for this long while a range is
+	// assigned (default 15s). Lost workers are disconnected and their
+	// in-flight range is reassigned to a surviving worker.
+	HeartbeatTimeout time.Duration
+	// RangeRetries bounds how many times one range may be reassigned
+	// after worker losses before the job fails (default 3).
+	RangeRetries int
+	// RangesPerWorker controls partition granularity: a job is cut into
+	// about RangesPerWorker ranges per worker (default 4), so a lost
+	// worker forfeits only a fraction of its progress and fast workers
+	// steal work from slow ones.
+	RangesPerWorker int
+	// OnProgress, when set, receives the total number of scenarios
+	// completed so far after every heartbeat and range completion. It
+	// must be safe for concurrent calls.
+	OnProgress func(done int)
+}
+
+// Pool is a coordinator's set of worker connections. Add workers with
+// AddProcess (local child processes over stdin/stdout) or AddConn
+// (accepted TCP connections), then RunJob campaigns against them; one
+// Pool serves any number of sequential jobs (a sweep reuses the same
+// workers for every cell).
+type Pool struct {
+	opts PoolOptions
+
+	mu      sync.Mutex
+	workers []*poolWorker
+	nextJob int
+}
+
+// poolWorker is one worker connection. The reader goroutine owns recv
+// and forwards frames to msgs (closed when the connection dies); ready
+// and dead are guarded by the pool mutex.
+type poolWorker struct {
+	id    int
+	c     *conn
+	msgs  chan *message
+	close func()
+	ready bool
+	dead  bool
+}
+
+// NewPool returns an empty pool.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 15 * time.Second
+	}
+	if opts.RangeRetries <= 0 {
+		opts.RangeRetries = 3
+	}
+	if opts.RangesPerWorker <= 0 {
+		opts.RangesPerWorker = 4
+	}
+	return &Pool{opts: opts}
+}
+
+// AddConn adds an established worker connection (for example an
+// accepted TCP conn) to the pool. The worker becomes schedulable once
+// its version hello arrives (see WaitReady).
+func (p *Pool) AddConn(rwc io.ReadWriteCloser) {
+	p.add(newConn(rwc, rwc), func() { rwc.Close() })
+}
+
+// AddProcess starts cmd as a local worker child with the protocol on
+// its stdin/stdout (stderr is inherited unless already set) and adds
+// it to the pool. The returned process handle lets callers kill the
+// worker — the reassignment tests do exactly that.
+func (p *Pool) AddProcess(cmd *exec.Cmd) (*os.Process, error) {
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("coord: starting worker process: %w", err)
+	}
+	p.add(newConn(stdout, stdin), func() {
+		stdin.Close()
+		_ = cmd.Process.Kill()
+		go cmd.Wait() // reap
+	})
+	return cmd.Process, nil
+}
+
+// AcceptWorkers accepts n worker connections from the listener and
+// adds each to the pool.
+func (p *Pool) AcceptWorkers(ln net.Listener, n int) error {
+	for i := 0; i < n; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("coord: accepting worker %d: %w", i, err)
+		}
+		p.AddConn(c)
+	}
+	return nil
+}
+
+func (p *Pool) add(c *conn, closeFn func()) {
+	w := &poolWorker{c: c, msgs: make(chan *message, 16), close: closeFn}
+	p.mu.Lock()
+	w.id = len(p.workers)
+	p.workers = append(p.workers, w)
+	p.mu.Unlock()
+	go func() {
+		defer close(w.msgs)
+		defer p.markDead(w)
+		first, err := c.recv()
+		if err != nil || first.Type != msgHello || first.Version != ProtoVersion {
+			return // version mismatch or dead on arrival: never ready
+		}
+		p.mu.Lock()
+		w.ready = true
+		p.mu.Unlock()
+		for {
+			m, err := c.recv()
+			if err != nil {
+				return
+			}
+			w.msgs <- m
+		}
+	}()
+}
+
+// markDead records the worker as unusable and closes its connection;
+// idempotent.
+func (p *Pool) markDead(w *poolWorker) {
+	p.mu.Lock()
+	wasDead := w.dead
+	w.dead = true
+	p.mu.Unlock()
+	if !wasDead {
+		w.close()
+	}
+}
+
+// Live returns the number of workers that completed the handshake and
+// have not died.
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if w.ready && !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitReady blocks until n workers completed the version handshake, or
+// ctx expires — spawn/connect confirmation before the first job.
+func (p *Pool) WaitReady(ctx context.Context, n int) error {
+	for {
+		if p.Live() >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("coord: %d of %d workers ready: %w", p.Live(), n, ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Close shuts every worker down: live ones get a shutdown message
+// (local children exit on it or on the subsequent stdin close), then
+// every connection is closed and child processes are reaped.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	ws := append([]*poolWorker(nil), p.workers...)
+	p.mu.Unlock()
+	for _, w := range ws {
+		_ = w.c.send(&message{Type: msgShutdown})
+		p.markDead(w)
+	}
+}
+
+// RunJob runs one campaign across the pool's live workers and returns
+// its report (Summary plus baseline; per-scenario results never cross
+// the process boundary). The coordinator resolves the baseline volume
+// locally unless the spec carries one, partitions the scenario space
+// into shard-aligned ranges, schedules ranges onto workers as they
+// free up, reassigns the in-flight range of any worker that dies or
+// goes silent (bounded by RangeRetries), and merges the returned shard
+// states in shard order — bit-identical to the single-process
+// campaign.RunContext for the same (seed, Shards). A worker-reported
+// scenario error or ctx cancellation fails the job fast; remaining
+// workers get a cancel for the in-flight job.
+func (p *Pool) RunJob(ctx context.Context, spec campaign.WireSpec) (*campaign.Report, error) {
+	// Build the campaign locally too: the coordinator needs the
+	// scenario count for partitioning and the baseline for the workers.
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, fmt.Errorf("coord: building job: %w", err)
+	}
+	if spec.Baseline == 0 {
+		base, err := campaign.BaselineVolume(cfg)
+		if err != nil {
+			return nil, err
+		}
+		spec.Baseline = base
+		cfg.Baseline = base
+	}
+
+	p.mu.Lock()
+	p.nextJob++
+	jobID := p.nextJob
+	var workers []*poolWorker
+	for _, w := range p.workers {
+		if w.ready && !w.dead {
+			workers = append(workers, w)
+		}
+	}
+	p.mu.Unlock()
+	if len(workers) == 0 {
+		return nil, errors.New("coord: no live workers")
+	}
+
+	ranges, err := campaign.Partition(cfg, p.opts.RangesPerWorker*len(workers))
+	if err != nil {
+		return nil, err
+	}
+	sched := newScheduler(ranges, p.opts.RangeRetries)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *poolWorker) {
+			defer wg.Done()
+			p.runWorker(ctx, w, jobID, &spec, sched)
+		}(w)
+	}
+	wg.Wait()
+	if err := sched.err(); err != nil {
+		return nil, err
+	}
+	sum, err := campaign.MergeShardStates(sched.collected())
+	if err != nil {
+		return nil, err
+	}
+	if sum.Scenarios != len(cfg.Scenarios) {
+		return nil, fmt.Errorf("coord: merged summary covers %d scenarios, want %d", sum.Scenarios, len(cfg.Scenarios))
+	}
+	return &campaign.Report{Summary: sum, BaselineSinkTuples: spec.Baseline}, nil
+}
+
+// runWorker drives one worker through one job: send the job spec, then
+// loop taking ranges from the scheduler, assigning them, and awaiting
+// results under a heartbeat-refreshed deadline. Any connection or
+// liveness failure requeues the in-flight range and retires the
+// worker; a worker-reported error fails the whole job.
+func (p *Pool) runWorker(ctx context.Context, w *poolWorker, jobID int, spec *campaign.WireSpec, sched *scheduler) {
+	lost := func(t *rangeTask) {
+		p.markDead(w)
+		if t != nil {
+			sched.requeue(w.id, *t, fmt.Errorf("coord: worker %d lost with range %s in flight", w.id, t.r))
+		}
+		sched.workerGone(p.Live())
+	}
+	if err := w.c.send(&message{Type: msgJob, Job: jobID, Spec: spec}); err != nil {
+		lost(nil)
+		return
+	}
+	for {
+		t, ok := sched.take()
+		if !ok {
+			// Job finished or failed: stop anything still in flight on
+			// this worker before leaving.
+			_ = w.c.send(&message{Type: msgCancel, Job: jobID})
+			return
+		}
+		if err := w.c.send(&message{Type: msgAssign, Job: jobID, Range: &t.r}); err != nil {
+			lost(&t)
+			return
+		}
+		timer := time.NewTimer(p.opts.HeartbeatTimeout)
+		completed := false
+		for !completed {
+			select {
+			case m, open := <-w.msgs:
+				if !open {
+					timer.Stop()
+					lost(&t)
+					return
+				}
+				// Any frame proves liveness; refresh the deadline.
+				if !timer.Stop() {
+					<-timer.C
+				}
+				timer.Reset(p.opts.HeartbeatTimeout)
+				if m.Job != jobID {
+					continue // stale frame from a superseded job
+				}
+				switch m.Type {
+				case msgHeartbeat:
+					sched.reportProgress(w.id, m.Done, p.opts.OnProgress)
+				case msgResult:
+					sched.complete(t, m.States, p.opts.OnProgress)
+					completed = true
+				case msgError:
+					timer.Stop()
+					sched.fail(fmt.Errorf("coord: worker %d: %s", w.id, m.Error))
+					_ = w.c.send(&message{Type: msgCancel, Job: jobID})
+					return
+				}
+			case <-timer.C:
+				lost(&t) // silent worker: heartbeats stopped
+				return
+			case <-sched.done:
+				// Finished or failed elsewhere.
+				timer.Stop()
+				_ = w.c.send(&message{Type: msgCancel, Job: jobID})
+				return
+			case <-ctx.Done():
+				timer.Stop()
+				sched.fail(ctx.Err())
+				_ = w.c.send(&message{Type: msgCancel, Job: jobID})
+				return
+			}
+		}
+		timer.Stop()
+	}
+}
+
+// rangeTask is one schedulable range with its reassignment count.
+type rangeTask struct {
+	r       campaign.Range
+	retries int
+}
+
+// scheduler is the job's shared state: a pending-range queue workers
+// pull from, the collected shard states, and the finished/failed
+// flag. All methods are safe for concurrent use.
+type scheduler struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []rangeTask
+	remaining int // ranges not yet completed
+	retries   int
+	failure   error
+	finished  bool
+	done      chan struct{} // closed when finished or failed
+
+	states    []campaign.ShardState
+	perWorker map[int]int // worker id -> scenarios done per its last heartbeat
+}
+
+func newScheduler(ranges []campaign.Range, retries int) *scheduler {
+	s := &scheduler{
+		pending:   make([]rangeTask, len(ranges)),
+		remaining: len(ranges),
+		retries:   retries,
+		done:      make(chan struct{}),
+		perWorker: make(map[int]int),
+	}
+	for i, r := range ranges {
+		s.pending[i] = rangeTask{r: r}
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// take pops the next pending range, blocking while none is pending but
+// the job is still running (a requeue may arrive); false means the job
+// is finished or failed and the worker should stop.
+func (s *scheduler) take() (rangeTask, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) == 0 && !s.finished {
+		s.cond.Wait()
+	}
+	if s.finished {
+		return rangeTask{}, false
+	}
+	t := s.pending[0]
+	s.pending = s.pending[1:]
+	return t, true
+}
+
+// complete records a range's shard states; finishing the last range
+// finishes the job.
+func (s *scheduler) complete(t rangeTask, states []campaign.ShardState, onProgress func(int)) {
+	s.mu.Lock()
+	s.states = append(s.states, states...)
+	s.remaining--
+	done := s.progressLocked()
+	if s.remaining == 0 {
+		s.finishLocked(nil)
+	}
+	s.mu.Unlock()
+	if onProgress != nil {
+		onProgress(done)
+	}
+}
+
+// requeue puts a lost worker's range back on the queue, failing the
+// job once the range exhausted its retries.
+func (s *scheduler) requeue(workerID int, t rangeTask, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.perWorker, workerID) // its scenarios will be recounted by the re-runner
+	t.retries++
+	if t.retries > s.retries {
+		s.finishLocked(fmt.Errorf("coord: range %s failed %d times: %w", t.r, t.retries, cause))
+		return
+	}
+	s.pending = append(s.pending, t)
+	s.cond.Broadcast()
+}
+
+// workerGone fails the job when no live workers remain with work
+// outstanding — nobody is left to take the queue.
+func (s *scheduler) workerGone(live int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if live == 0 && !s.finished && s.remaining > 0 {
+		s.finishLocked(errors.New("coord: all workers lost with ranges outstanding"))
+	}
+}
+
+func (s *scheduler) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finishLocked(err)
+}
+
+// finishLocked marks the job done (first failure wins), wakes blocked
+// take calls and closes the done channel.
+func (s *scheduler) finishLocked(err error) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.failure = err
+	close(s.done)
+	s.cond.Broadcast()
+}
+
+func (s *scheduler) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failure
+}
+
+func (s *scheduler) collected() []campaign.ShardState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.states
+}
+
+// reportProgress records a worker's heartbeat progress (its cumulative
+// scenario count for the current job) and reports the pool-wide total.
+func (s *scheduler) reportProgress(workerID, done int, onProgress func(int)) {
+	s.mu.Lock()
+	s.perWorker[workerID] = done
+	total := s.progressLocked()
+	s.mu.Unlock()
+	if onProgress != nil {
+		onProgress(total)
+	}
+}
+
+func (s *scheduler) progressLocked() int {
+	t := 0
+	for _, d := range s.perWorker {
+		t += d
+	}
+	return t
+}

@@ -1,0 +1,186 @@
+package coord
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// workerProcEnv re-executes the test binary as a protocol worker on
+// its stdio: TestMain intercepts the variable before any test runs, so
+// AddProcess(os.Executable()) spawns real worker processes without a
+// separate binary.
+const workerProcEnv = "PPA_COORD_WORKER_PROC"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerProcEnv) == "1" {
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, WorkerOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// spawnWorkers adds n re-exec'd worker processes to the pool and waits
+// for their handshakes.
+func spawnWorkers(t testing.TB, p *Pool, n int) []*os.Process {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]*os.Process, n)
+	for i := range procs {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), workerProcEnv+"=1")
+		if procs[i], err = p.AddProcess(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.WaitReady(ctx, n); err != nil {
+		t.Fatal(err)
+	}
+	return procs
+}
+
+// summaryDigest is the summary-hash form used in logs: shortest-exact
+// floats through sha256, so equal digests mean bit-identical summaries.
+func summaryDigest(s campaign.Summary) string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	h := sha256.New()
+	fmt.Fprintf(h, "scen=%d|unrec=%d\n", s.Scenarios, s.Unrecovered)
+	for _, d := range []campaign.Dist{s.Latency, s.Loss, s.FailedTasks, s.TentativeFrac, s.CorrectedFrac, s.TimeToCorrection} {
+		fmt.Fprintf(h, "%s|%s|%s|%s|%s\n", f(d.Mean), f(d.P50), f(d.P95), f(d.P99), f(d.Max))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestDistributedGolden is the tentpole acceptance test: the same
+// campaign run through a coordinator and N real local worker processes
+// produces a Summary bit-identical to the single-process run for
+// N ∈ {1, 2, 4}, verified by golden digest.
+func TestDistributedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	spec := testSpec(t, 24)
+	want := localRun(t, spec)
+	wantHash := summaryDigest(want.Summary)
+
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			p := NewPool(PoolOptions{})
+			defer p.Close()
+			spawnWorkers(t, p, n)
+			rep, err := p.RunJob(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := summaryDigest(rep.Summary); got != wantHash {
+				t.Errorf("summary digest %s, want single-process %s", got, wantHash)
+			}
+			if rep.Summary != want.Summary {
+				t.Fatalf("distributed summary differs from single-process:\n%+v\n%+v", rep.Summary, want.Summary)
+			}
+			if rep.BaselineSinkTuples != want.BaselineSinkTuples {
+				t.Fatalf("baseline %d, want %d", rep.BaselineSinkTuples, want.BaselineSinkTuples)
+			}
+		})
+	}
+}
+
+// TestDistributedWorkerKill: killing one of two worker processes
+// mid-sweep reassigns its ranges to the survivor and the campaign
+// still completes with the bit-identical summary.
+func TestDistributedWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	spec := testSpec(t, 400)
+	want := localRun(t, spec)
+
+	p := NewPool(PoolOptions{RangesPerWorker: 8})
+	defer p.Close()
+	procs := spawnWorkers(t, p, 2)
+
+	var killed sync.WaitGroup
+	killed.Add(1)
+	go func() {
+		defer killed.Done()
+		time.Sleep(400 * time.Millisecond)
+		_ = procs[0].Kill()
+	}()
+	rep, err := p.RunJob(context.Background(), spec)
+	killed.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary != want.Summary {
+		t.Fatalf("summary differs after worker kill:\n%+v\n%+v", rep.Summary, want.Summary)
+	}
+	if live := p.Live(); live != 1 {
+		t.Fatalf("Live() = %d after the kill, want 1", live)
+	}
+}
+
+// TestDistributedSmoke10k is the CI multi-process smoke (gated behind
+// PPA_DIST_SMOKE=1, minutes-long): a 10k-scenario campaign through a
+// coordinator and 2 local worker processes must match the
+// single-process summary digest exactly — once undisturbed, and once
+// with one worker killed mid-sweep.
+func TestDistributedSmoke10k(t *testing.T) {
+	if os.Getenv("PPA_DIST_SMOKE") == "" {
+		t.Skip("set PPA_DIST_SMOKE=1 to run the multi-process smoke")
+	}
+	spec := testSpec(t, 10_000)
+	start := time.Now()
+	want := localRun(t, spec)
+	wantHash := summaryDigest(want.Summary)
+	t.Logf("single-process reference: %v, digest %s", time.Since(start), wantHash)
+
+	run := func(name string, kill bool) {
+		t.Run(name, func(t *testing.T) {
+			p := NewPool(PoolOptions{RangesPerWorker: 8})
+			defer p.Close()
+			procs := spawnWorkers(t, p, 2)
+			var killed sync.WaitGroup
+			if kill {
+				killed.Add(1)
+				go func() {
+					defer killed.Done()
+					time.Sleep(5 * time.Second)
+					_ = procs[0].Kill()
+				}()
+			}
+			start := time.Now()
+			rep, err := p.RunJob(context.Background(), spec)
+			killed.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := summaryDigest(rep.Summary)
+			t.Logf("distributed: %v, digest %s", time.Since(start), got)
+			if got != wantHash {
+				t.Fatalf("summary digest %s, want single-process %s", got, wantHash)
+			}
+			if rep.Summary != want.Summary {
+				t.Fatal("summary digest collision without struct equality")
+			}
+		})
+	}
+	run("undisturbed", false)
+	run("worker-kill", true)
+}

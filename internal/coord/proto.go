@@ -1,0 +1,87 @@
+// Package coord implements multi-process campaign orchestration: a
+// coordinator that partitions a campaign's scenario index space into
+// shard-aligned ranges and farms them out to worker processes over a
+// line-delimited JSON protocol — the stdin/stdout of locally spawned
+// workers, or TCP connections for remote ones — then merges the
+// returned per-shard sketch states into the same Summary the
+// single-process path produces, bit-identical for the same (seed,
+// Shards) whatever the worker count or range assignment.
+//
+// The system that simulates failure recovery survives its own workers
+// dying: workers heartbeat while computing, a silent or disconnected
+// worker is declared lost and its in-flight range is reassigned to a
+// surviving worker (bounded retries), and a scenario error anywhere
+// fails the whole campaign fast across the process boundary.
+package coord
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// ProtoVersion is the wire protocol version. A worker opens with a
+// hello carrying its version; the coordinator drops connections whose
+// version does not match.
+const ProtoVersion = 1
+
+// Message types. Coordinator to worker: job (the campaign WireSpec),
+// assign (one scenario range), cancel, shutdown. Worker to
+// coordinator: hello (version handshake), heartbeat (liveness +
+// progress), result (serialised shard states of a completed range),
+// error (fail-fast propagation).
+const (
+	msgHello     = "hello"
+	msgJob       = "job"
+	msgAssign    = "assign"
+	msgResult    = "result"
+	msgError     = "error"
+	msgHeartbeat = "heartbeat"
+	msgCancel    = "cancel"
+	msgShutdown  = "shutdown"
+)
+
+// message is one protocol frame: a JSON object per line. Fields are
+// populated per Type; Job tags every job-scoped message so stale
+// frames from a superseded job are dropped instead of corrupting the
+// current one.
+type message struct {
+	Type    string                `json:"type"`
+	Version int                   `json:"version,omitempty"`
+	Job     int                   `json:"job,omitempty"`
+	Spec    *campaign.WireSpec    `json:"spec,omitempty"`
+	Range   *campaign.Range       `json:"range,omitempty"`
+	States  []campaign.ShardState `json:"states,omitempty"`
+	Done    int                   `json:"done,omitempty"`
+	Error   string                `json:"error,omitempty"`
+}
+
+// conn frames messages as newline-delimited JSON over a byte stream.
+// Sends are serialised by a mutex (the worker's heartbeat goroutine
+// writes concurrently with result sends); receives have a single
+// reader by construction.
+type conn struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func newConn(r io.Reader, w io.Writer) *conn {
+	return &conn{enc: json.NewEncoder(w), dec: json.NewDecoder(r)}
+}
+
+func (c *conn) send(m *message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(m)
+}
+
+func (c *conn) recv() (*message, error) {
+	var m message
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,15 @@ func Map[T any](n, workers int, fn func(int) T) []T {
 // worker count. workers <= 0 selects GOMAXPROCS; workers == 1 runs
 // inline (and stops at the first error).
 func EachErr(n, workers int, fn func(int) error) error {
+	return EachErrCtx(context.Background(), n, workers, fn)
+}
+
+// EachErrCtx is EachErr with cancellation: once ctx is done, no further
+// index is claimed (indices already claimed still run to completion)
+// and ctx.Err() is returned unless some fn failed first — an fn error
+// always wins over the cancellation error, preserving EachErr's
+// smallest-failing-index determinism.
+func EachErrCtx(ctx context.Context, n, workers int, fn func(int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -38,6 +48,9 @@ func EachErr(n, workers int, fn func(int) error) error {
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -58,6 +71,9 @@ func EachErr(n, workers int, fn func(int) error) error {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -75,7 +91,10 @@ func EachErr(n, workers int, fn func(int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // Each runs fn(i) for every i in [0, n) on up to workers goroutines.

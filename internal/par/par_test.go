@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -69,6 +70,54 @@ func TestEachErrFailFast(t *testing.T) {
 	// failing prefix plus in-flight workers (with generous slack).
 	if got := executed.Load(); got > 1000 {
 		t.Fatalf("%d of %d indices executed after an index-5 error", got, n)
+	}
+}
+
+// TestEachErrCtxCancel: cancellation stops further claims and surfaces
+// ctx.Err(), but an fn error observed before the cancellation wins.
+func TestEachErrCtxCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed atomic.Int64
+		err := EachErrCtx(ctx, 100_000, workers, func(i int) error {
+			if executed.Add(1) == 50 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := executed.Load(); got > 1000 {
+			t.Fatalf("workers=%d: %d indices executed after cancellation", workers, got)
+		}
+	}
+
+	// Pre-cancelled context: nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int64
+	if err := EachErrCtx(ctx, 10, 4, func(int) error { executed.Add(1); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if executed.Load() != 0 {
+		t.Fatalf("%d indices executed with a pre-cancelled context", executed.Load())
+	}
+
+	// fn error beats the cancellation error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := EachErrCtx(ctx2, 1000, 4, func(i int) error {
+		if i == 3 {
+			cancel2()
+			return boom
+		}
+		return nil
+	})
+	cancel2()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
 	}
 }
 

@@ -1,0 +1,124 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary serialisation. A sketch's state is a pure function of its
+// Add/Merge sequence, and the encoding below captures that state
+// exactly — k, seed, coin counter, exact aggregates and every level's
+// items in order — so decode restores a sketch bit-identical to the
+// original: continuing to Add, Merge or Query on the decoded copy
+// matches the original operation for operation. This is what lets a
+// distributed campaign ship per-shard sketch states across process
+// boundaries and still merge them into the same summary a
+// single-process run produces.
+//
+// Format (version 1, little-endian):
+//
+//	magic "ppaq" | version byte | uint32 k | uint64 seed | uint64 coin
+//	| uint64 count | float64 sum | float64 min | float64 max
+//	| uint32 nLevels | nLevels × (uint32 len | len × float64)
+//	| uint32 CRC-32C of everything before
+//
+// Floats are IEEE-754 bit patterns, so round trips are lossless. The
+// trailing checksum (Castagnoli) rejects corruption; the version byte
+// rejects encodings from a different format revision.
+
+const (
+	marshalMagic   = "ppaq"
+	marshalVersion = 1
+
+	// marshalHeaderLen is the fixed-size prefix: magic, version, k,
+	// seed, coin, count, sum, min, max, level count.
+	marshalHeaderLen = len(marshalMagic) + 1 + 4 + 8*3 + 8*3 + 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MarshalBinary encodes the sketch state deterministically: two
+// sketches with identical state produce identical bytes.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	n := marshalHeaderLen + 4
+	for _, lvl := range s.levels {
+		n += 4 + 8*len(lvl)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, marshalMagic...)
+	buf = append(buf, marshalVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.k))
+	buf = binary.LittleEndian.AppendUint64(buf, s.seed)
+	buf = binary.LittleEndian.AppendUint64(buf, s.coin)
+	buf = binary.LittleEndian.AppendUint64(buf, s.count)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.sum))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.min))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.max))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.levels)))
+	for _, lvl := range s.levels {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(lvl)))
+		for _, v := range lvl {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return buf, nil
+}
+
+// UnmarshalBinary replaces the receiver's state with the encoded one.
+// It rejects truncated input, wrong magic, unknown versions, checksum
+// mismatches and trailing garbage; on error the receiver is left
+// unchanged.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	if len(data) < marshalHeaderLen+4 {
+		return fmt.Errorf("sketch: encoding truncated: %d bytes", len(data))
+	}
+	if string(data[:len(marshalMagic)]) != marshalMagic {
+		return fmt.Errorf("sketch: bad magic %q", data[:len(marshalMagic)])
+	}
+	if v := data[len(marshalMagic)]; v != marshalVersion {
+		return fmt.Errorf("sketch: unsupported encoding version %d (have %d)", v, marshalVersion)
+	}
+	body, crc := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, crcTable); got != crc {
+		return fmt.Errorf("sketch: checksum mismatch: %08x != %08x (corrupt encoding)", got, crc)
+	}
+	r := body[len(marshalMagic)+1:]
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(r); r = r[4:]; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(r); r = r[8:]; return v }
+	k := int(u32())
+	if k < 8 {
+		return fmt.Errorf("sketch: invalid accuracy parameter %d in encoding", k)
+	}
+	seed, coin, count := u64(), u64(), u64()
+	sum := math.Float64frombits(u64())
+	mn := math.Float64frombits(u64())
+	mx := math.Float64frombits(u64())
+	nLevels := int(u32())
+	levels := make([][]float64, nLevels)
+	size := 0
+	for l := range levels {
+		if len(r) < 4 {
+			return fmt.Errorf("sketch: encoding truncated in level %d header", l)
+		}
+		n := int(u32())
+		if len(r) < 8*n {
+			return fmt.Errorf("sketch: encoding truncated in level %d items", l)
+		}
+		lvl := make([]float64, n)
+		for i := range lvl {
+			lvl[i] = math.Float64frombits(u64())
+		}
+		levels[l] = lvl
+		size += n
+	}
+	if len(r) != 0 {
+		return fmt.Errorf("sketch: %d trailing bytes after encoding", len(r))
+	}
+	s.k, s.seed, s.coin = k, seed, coin
+	s.count, s.sum, s.min, s.max = count, sum, mn, mx
+	s.levels, s.size = levels, size
+	return nil
+}

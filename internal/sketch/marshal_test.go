@@ -1,0 +1,133 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fill feeds n deterministic pseudo-random items into s.
+func fill(s *Sketch, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s.Add(rng.NormFloat64()*10 + 50)
+	}
+}
+
+func mustMarshal(t *testing.T, s *Sketch) []byte {
+	t.Helper()
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	return b
+}
+
+func mustUnmarshal(t *testing.T, b []byte) *Sketch {
+	t.Helper()
+	var s Sketch
+	if err := s.UnmarshalBinary(b); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	return &s
+}
+
+func TestMarshalRoundTripBitIdentity(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256, 5000} {
+		s := NewSeeded(64, 42)
+		fill(s, int64(n), n)
+		enc := mustMarshal(t, s)
+		if again := mustMarshal(t, s); !bytes.Equal(enc, again) {
+			t.Fatalf("n=%d: marshal is not deterministic", n)
+		}
+		d := mustUnmarshal(t, enc)
+		if got := mustMarshal(t, d); !bytes.Equal(enc, got) {
+			t.Fatalf("n=%d: decode+re-encode differs from original encoding", n)
+		}
+		// The decoded sketch must behave bit-identically: continue the
+		// stream on both and compare states again.
+		fill(s, 99, 500)
+		fill(d, 99, 500)
+		if !bytes.Equal(mustMarshal(t, s), mustMarshal(t, d)) {
+			t.Fatalf("n=%d: decoded sketch diverges from original after further Adds", n)
+		}
+		if s.Count() != d.Count() || s.Sum() != d.Sum() || s.Min() != d.Min() || s.Max() != d.Max() {
+			t.Fatalf("n=%d: aggregate mismatch after decode", n)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+			if s.Quantile(q) != d.Quantile(q) {
+				t.Fatalf("n=%d: Quantile(%v) differs after decode", n, q)
+			}
+		}
+	}
+}
+
+func TestMergeAfterDecodeMatchesInProcessMerge(t *testing.T) {
+	mk := func(seed int64, n int) *Sketch {
+		s := NewSeeded(64, 7)
+		fill(s, seed, n)
+		return s
+	}
+	// In-process: a.Merge(b) directly.
+	a, b := mk(1, 3000), mk(2, 1700)
+	a.Merge(b)
+	want := mustMarshal(t, a)
+
+	// Across the wire: encode both, decode into fresh sketches, merge.
+	da := mustUnmarshal(t, mustMarshal(t, mk(1, 3000)))
+	db := mustUnmarshal(t, mustMarshal(t, mk(2, 1700)))
+	da.Merge(db)
+	if !bytes.Equal(want, mustMarshal(t, da)) {
+		t.Fatal("merge after decode differs from in-process merge")
+	}
+
+	// Merging a decoded empty sketch is an exact no-op.
+	de := mustUnmarshal(t, mustMarshal(t, NewSeeded(64, 7)))
+	da.Merge(de)
+	if !bytes.Equal(want, mustMarshal(t, da)) {
+		t.Fatal("merging a decoded empty sketch changed the state")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	s := NewSeeded(32, 3)
+	fill(s, 5, 1000)
+	enc := mustMarshal(t, s)
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		var d Sketch
+		if err := d.UnmarshalBinary(data); err == nil {
+			t.Fatalf("%s: expected an error", name)
+		}
+	}
+	check("empty", nil)
+	check("truncated header", enc[:10])
+	check("truncated body", enc[:len(enc)-20])
+	check("trailing garbage", append(append([]byte(nil), enc...), 0))
+
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	check("bad magic", bad)
+
+	bad = append([]byte(nil), enc...)
+	bad[len(marshalMagic)] = marshalVersion + 1
+	check("future version", bad)
+
+	// Flip one payload byte: the checksum must catch it.
+	bad = append([]byte(nil), enc...)
+	bad[len(bad)/2] ^= 0x40
+	check("flipped bit", bad)
+}
+
+func TestUnmarshalLeavesReceiverIntactOnError(t *testing.T) {
+	s := NewSeeded(32, 3)
+	fill(s, 5, 200)
+	before := mustMarshal(t, s)
+	if err := s.UnmarshalBinary(before[:12]); err == nil {
+		t.Fatal("expected an error")
+	}
+	if !bytes.Equal(before, mustMarshal(t, s)) {
+		t.Fatal("failed UnmarshalBinary mutated the receiver")
+	}
+}

@@ -25,8 +25,12 @@
 package ppa
 
 import (
+	"context"
+	"io"
+
 	"repro/internal/campaign"
 	"repro/internal/cluster"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fidelity"
@@ -413,6 +417,110 @@ type Distribution = campaign.Dist
 // path. A scenario error aborts the campaign promptly without
 // draining the remaining scenarios.
 func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.Run(cfg) }
+
+// RunCampaignContext is RunCampaign under a context: cancelling ctx
+// aborts the sweep promptly and returns the context's error. Worker
+// timeouts, user cancellation and fail-fast scenario errors all share
+// this one mechanism.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
+	return campaign.RunContext(ctx, cfg)
+}
+
+// CampaignConfigError is the typed validation error returned by
+// CampaignConfig.Validate (and by the campaign entry points, which
+// validate first): it names the offending field and the reason.
+type CampaignConfigError = campaign.ConfigError
+
+// CampaignBaselineVolume runs (or looks up) the failure-free baseline
+// for the campaign and returns its sink volume — the denominator of
+// relative output loss. Coordinators resolve the baseline once and
+// ship it to every worker so all ranges measure loss identically.
+func CampaignBaselineVolume(cfg CampaignConfig) (int, error) {
+	return campaign.BaselineVolume(cfg)
+}
+
+// --- Distributed campaigns ---
+
+// CampaignRange is a half-open, shard-aligned range [Lo, Hi) of a
+// campaign's scenario index space — the unit of distributed work.
+type CampaignRange = campaign.Range
+
+// PartitionCampaign splits the campaign's scenario index space into at
+// most parts contiguous shard-aligned ranges covering every scenario.
+func PartitionCampaign(cfg CampaignConfig, parts int) ([]CampaignRange, error) {
+	return campaign.Partition(cfg, parts)
+}
+
+// CampaignShardState is one shard's serialised aggregation state
+// (deterministic binary sketch encodings plus exact counters) — what
+// workers return and MergeCampaignShards folds back together.
+type CampaignShardState = campaign.ShardState
+
+// RunCampaignRange executes one shard-aligned scenario range and
+// returns the serialised per-shard states it produced.
+func RunCampaignRange(cfg CampaignConfig, r CampaignRange) ([]CampaignShardState, error) {
+	return campaign.RunRange(cfg, r)
+}
+
+// RunCampaignRangeContext is RunCampaignRange under a context.
+func RunCampaignRangeContext(ctx context.Context, cfg CampaignConfig, r CampaignRange) ([]CampaignShardState, error) {
+	return campaign.RunRangeContext(ctx, cfg, r)
+}
+
+// MergeCampaignShards merges shard states from any partitioning of one
+// campaign into its summary — bit-identical to the single-process run
+// for the same (seed, Shards), whatever the range assignment.
+func MergeCampaignShards(states []CampaignShardState) (CampaignSummary, error) {
+	return campaign.MergeShardStates(states)
+}
+
+// CampaignWireSpec is the self-contained, JSON-serialisable form of a
+// campaign: environment, scenario generators and run parameters.
+// Workers rebuild the identical CampaignConfig from it — scenarios are
+// regenerated from their seeds on each side, never shipped.
+type CampaignWireSpec = campaign.WireSpec
+
+// NewCampaignWireSpec captures an environment spec and scenario
+// generators as a wire-transportable campaign description.
+func NewCampaignWireSpec(spec CampaignEnvSpec, gens []ScenarioSpec) (CampaignWireSpec, error) {
+	return campaign.NewWireSpec(spec, gens)
+}
+
+// CampaignWorkerPool is a coordinator's set of campaign worker
+// processes (locally spawned via AddProcess, or remote TCP connections
+// via AddConn/AcceptWorkers). RunJob partitions a campaign across the
+// live workers, reassigns ranges of lost workers, and merges the
+// returned shard states into the single-process summary.
+type CampaignWorkerPool = coord.Pool
+
+// CampaignWorkerPoolOptions tunes coordinator-side liveness and
+// scheduling (heartbeat timeout, range retries, ranges per worker).
+type CampaignWorkerPoolOptions = coord.PoolOptions
+
+// NewCampaignWorkerPool returns an empty worker pool.
+func NewCampaignWorkerPool(opts CampaignWorkerPoolOptions) *CampaignWorkerPool {
+	return coord.NewPool(opts)
+}
+
+// CampaignWorkerOptions tunes the worker side of the protocol.
+type CampaignWorkerOptions = coord.WorkerOptions
+
+// ServeCampaignWorker runs the worker half of the campaign protocol
+// over the given byte streams (a spawned worker's stdin/stdout) until
+// EOF, shutdown, or ctx cancellation.
+func ServeCampaignWorker(ctx context.Context, r io.Reader, w io.Writer, opts CampaignWorkerOptions) error {
+	return coord.ServeWorker(ctx, r, w, opts)
+}
+
+// ConnectCampaignWorker dials a coordinator over TCP and serves the
+// worker protocol on the connection.
+func ConnectCampaignWorker(ctx context.Context, addr string, opts CampaignWorkerOptions) error {
+	return coord.Connect(ctx, addr, opts)
+}
+
+// CampaignProtoVersion is the coordinator/worker wire protocol
+// version; mismatched workers are dropped at the handshake.
+const CampaignProtoVersion = coord.ProtoVersion
 
 // QuantileSketch is the deterministic mergeable streaming quantile
 // sketch campaign summaries are built on (KLL-style). Count, Sum, Min
