@@ -1,0 +1,94 @@
+// Command ppalint runs the repository's determinism & safety
+// analyzer suite (internal/lint) over Go packages.
+//
+// It is a go/analysis unitchecker binary, so the canonical invocation
+// is through the go command, which handles loading, caching and
+// dependency order:
+//
+//	go vet -vettool=$(which ppalint) ./...
+//
+// Run standalone it drives the same invocation itself:
+//
+//	ppalint ./...          # vet the given packages (default ./...)
+//	ppalint -json ./...    # diagnostics as JSON (go vet -json passthrough)
+//	ppalint -list          # list the analyzers and what they enforce
+//
+// Findings are suppressed in place with //ppalint:allow <analyzer>
+// <reason>; see the internal/lint package documentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// Under `go vet -vettool=ppalint` the go command probes the tool
+	// with -V=full and -flags (JSON flag definitions), then invokes it
+	// once per package with a single *.cfg argument. Everything else
+	// is a human at a shell.
+	for _, a := range os.Args[1:] {
+		if strings.HasPrefix(a, "-V=") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			unitchecker.Main(lint.Analyzers()...) // never returns
+		}
+	}
+
+	var (
+		list    = flag.Bool("list", false, "list the registered analyzers and exit")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON (go vet -json passthrough)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ppalint [-list] [-json] [packages]\n\n"+
+			"Runs the ppalint determinism & safety analyzers over the given\n"+
+			"package patterns (default ./...) by driving go vet -vettool with\n"+
+			"itself as the tool. Equivalent to:\n\n"+
+			"\tgo vet -vettool=$(which ppalint) [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-13s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppalint: locating own binary: %v\n", err)
+		os.Exit(2)
+	}
+	args := []string{"vet", "-vettool=" + self}
+	if *jsonOut {
+		args = append(args, "-json")
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args = append(args, patterns...)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "ppalint: running go vet: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,52 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// Canonical determinism digests. The golden-hash test in this package,
+// the distributed-golden test in internal/coord and ad-hoc log
+// comparisons all reduce campaign output to the same two digests, so
+// "bit-identical" means the same thing everywhere: floats are
+// formatted with strconv 'g'/-1 — the shortest exact representation —
+// and hashed with SHA-256, so two values digest equal iff they are
+// bit-identical.
+
+// shortestExact is the canonical float rendering of the digests.
+func shortestExact(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReportDigest reduces a campaign Report to a canonical digest
+// covering every per-scenario outcome the campaign reports (recovery
+// latency, output loss, tentative/corrected fractions, correction
+// delays) plus the baseline volume.
+func ReportDigest(rep *Report) string {
+	f := shortestExact
+	h := sha256.New()
+	fmt.Fprintf(h, "baseline=%d\n", rep.BaselineSinkTuples)
+	for _, r := range rep.Results {
+		fmt.Fprintf(h, "%d|%s|%s|failed=%d|rec=%v|lat=%s|sink=%d|loss=%s|tent=%s|corr=%s|delays=",
+			r.Scenario.Index, r.Scenario.Model, r.Scenario.Label,
+			r.FailedTasks, r.Recovered, f(float64(r.WorstLatency)),
+			r.SinkTuples, f(r.OutputLoss), f(r.TentativeFrac), f(r.CorrectedFrac))
+		for _, d := range r.CorrectionDelays {
+			fmt.Fprintf(h, "%s,", f(d))
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SummaryDigest digests the sketch-path Summary: scenario counts plus
+// every quantile of every distribution.
+func SummaryDigest(s Summary) string {
+	f := shortestExact
+	h := sha256.New()
+	fmt.Fprintf(h, "scen=%d|unrec=%d\n", s.Scenarios, s.Unrecovered)
+	for _, d := range []Dist{s.Latency, s.Loss, s.FailedTasks, s.TentativeFrac, s.CorrectedFrac, s.TimeToCorrection} {
+		fmt.Fprintf(h, "%s|%s|%s|%s|%s\n", f(d.Mean), f(d.P50), f(d.P95), f(d.P99), f(d.Max))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,35 +1,8 @@
 package campaign
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"strconv"
 	"testing"
 )
-
-// goldenHash reduces a campaign Report to a canonical digest covering
-// every per-scenario outcome the campaign reports (recovery latency,
-// output loss, tentative/corrected fractions, correction delays) plus
-// the baseline volume. Floats are formatted with strconv 'g'/-1, the
-// shortest exact representation, so two reports hash equal iff they are
-// bit-identical.
-func goldenHash(rep *Report) string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	h := sha256.New()
-	fmt.Fprintf(h, "baseline=%d\n", rep.BaselineSinkTuples)
-	for _, r := range rep.Results {
-		fmt.Fprintf(h, "%d|%s|%s|failed=%d|rec=%v|lat=%s|sink=%d|loss=%s|tent=%s|corr=%s|delays=",
-			r.Scenario.Index, r.Scenario.Model, r.Scenario.Label,
-			r.FailedTasks, r.Recovered, f(float64(r.WorstLatency)),
-			r.SinkTuples, f(r.OutputLoss), f(r.TentativeFrac), f(r.CorrectedFrac))
-		for _, d := range r.CorrectionDelays {
-			fmt.Fprintf(h, "%s,", f(d))
-		}
-		fmt.Fprintln(h)
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
 
 // goldenCampaign builds the fixed campaign the determinism test hashes:
 // the medium preset topology under the greedy plan with tentative
@@ -62,19 +35,6 @@ func goldenCampaign(t *testing.T) (*Env, []Scenario) {
 		scs = append(scs, s...)
 	}
 	return env, scs
-}
-
-// summaryHash digests the sketch-path Summary with the same
-// shortest-exact float formatting, so two summaries hash equal iff
-// they are bit-identical.
-func summaryHash(s Summary) string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	h := sha256.New()
-	fmt.Fprintf(h, "scen=%d|unrec=%d\n", s.Scenarios, s.Unrecovered)
-	for _, d := range []Dist{s.Latency, s.Loss, s.FailedTasks, s.TentativeFrac, s.CorrectedFrac, s.TimeToCorrection} {
-		fmt.Fprintf(h, "%s|%s|%s|%s|%s\n", f(d.Mean), f(d.P50), f(d.P95), f(d.P99), f(d.Max))
-	}
-	return hex.EncodeToString(h.Sum(nil))
 }
 
 // goldenWant is the report digest of the pre-refactor engine (computed
@@ -124,10 +84,10 @@ func TestGoldenReportHash(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := goldenHash(rep); got != goldenWant {
+			if got := ReportDigest(rep); got != goldenWant {
 				t.Fatalf("golden hash = %s, want %s", got, goldenWant)
 			}
-			if got := summaryHash(rep.Summary); got != goldenSummaryWant {
+			if got := SummaryDigest(rep.Summary); got != goldenSummaryWant {
 				t.Fatalf("summary hash = %s, want %s", got, goldenSummaryWant)
 			}
 		})

@@ -90,7 +90,7 @@ func TestRangeMergeMatchesRun(t *testing.T) {
 		if sum != want.Summary {
 			t.Fatalf("parts=%d: merged summary differs from single-process run:\n%+v\n%+v", parts, sum, want.Summary)
 		}
-		if got, wantH := summaryHash(sum), summaryHash(want.Summary); got != wantH {
+		if got, wantH := SummaryDigest(sum), SummaryDigest(want.Summary); got != wantH {
 			t.Fatalf("parts=%d: summary hash %s, want %s", parts, got, wantH)
 		}
 	}

@@ -53,7 +53,7 @@ func TestWireSpecRoundTrip(t *testing.T) {
 	if got.BaselineSinkTuples != want.BaselineSinkTuples {
 		t.Fatalf("baseline %d, want %d", got.BaselineSinkTuples, want.BaselineSinkTuples)
 	}
-	if gh, wh := goldenHash(got), goldenHash(want); gh != wh {
+	if gh, wh := ReportDigest(got), ReportDigest(want); gh != wh {
 		t.Fatalf("per-scenario golden hash %s, want %s", gh, wh)
 	}
 	if got.Summary != want.Summary {

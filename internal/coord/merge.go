@@ -1,0 +1,37 @@
+// The deterministic half of distributed job execution: partitioning
+// the scenario space and merging the shard states the workers return.
+// This file is kept separate from pool.go — whose scheduling machinery
+// legitimately runs on wall-clock heartbeats and timers — and opts
+// into ppalint's walltime analyzer, so that nondeterminism can never
+// leak into the path that must stay bit-identical to the
+// single-process campaign.RunContext.
+//
+//ppalint:deterministic
+package coord
+
+import (
+	"fmt"
+
+	"repro/internal/campaign"
+)
+
+// partitionJob cuts the campaign's scenario space into shard-aligned
+// ranges, one unit of reassignable work per range.
+func partitionJob(cfg campaign.Config, parts int) ([]campaign.Range, error) {
+	return campaign.Partition(cfg, parts)
+}
+
+// mergeJob folds the collected shard states in shard order into the
+// job report. The merge is pure: same states in, same bytes out,
+// whatever worker produced each shard and in whatever real-time order
+// the shards arrived.
+func mergeJob(states []campaign.ShardState, scenarios int, baseline int) (*campaign.Report, error) {
+	sum, err := campaign.MergeShardStates(states)
+	if err != nil {
+		return nil, err
+	}
+	if sum.Scenarios != scenarios {
+		return nil, fmt.Errorf("coord: merged summary covers %d scenarios, want %d", sum.Scenarios, scenarios)
+	}
+	return &campaign.Report{Summary: sum, BaselineSinkTuples: baseline}, nil
+}

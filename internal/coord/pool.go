@@ -242,7 +242,7 @@ func (p *Pool) RunJob(ctx context.Context, spec campaign.WireSpec) (*campaign.Re
 		return nil, errors.New("coord: no live workers")
 	}
 
-	ranges, err := campaign.Partition(cfg, p.opts.RangesPerWorker*len(workers))
+	ranges, err := partitionJob(cfg, p.opts.RangesPerWorker*len(workers))
 	if err != nil {
 		return nil, err
 	}
@@ -259,14 +259,7 @@ func (p *Pool) RunJob(ctx context.Context, spec campaign.WireSpec) (*campaign.Re
 	if err := sched.err(); err != nil {
 		return nil, err
 	}
-	sum, err := campaign.MergeShardStates(sched.collected())
-	if err != nil {
-		return nil, err
-	}
-	if sum.Scenarios != len(cfg.Scenarios) {
-		return nil, fmt.Errorf("coord: merged summary covers %d scenarios, want %d", sum.Scenarios, len(cfg.Scenarios))
-	}
-	return &campaign.Report{Summary: sum, BaselineSinkTuples: spec.Baseline}, nil
+	return mergeJob(sched.collected(), len(cfg.Scenarios), spec.Baseline)
 }
 
 // runWorker drives one worker through one job: send the job spec, then

@@ -2,12 +2,9 @@ package coord
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"os"
 	"os/exec"
-	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -56,18 +53,6 @@ func spawnWorkers(t testing.TB, p *Pool, n int) []*os.Process {
 	return procs
 }
 
-// summaryDigest is the summary-hash form used in logs: shortest-exact
-// floats through sha256, so equal digests mean bit-identical summaries.
-func summaryDigest(s campaign.Summary) string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	h := sha256.New()
-	fmt.Fprintf(h, "scen=%d|unrec=%d\n", s.Scenarios, s.Unrecovered)
-	for _, d := range []campaign.Dist{s.Latency, s.Loss, s.FailedTasks, s.TentativeFrac, s.CorrectedFrac, s.TimeToCorrection} {
-		fmt.Fprintf(h, "%s|%s|%s|%s|%s\n", f(d.Mean), f(d.P50), f(d.P95), f(d.P99), f(d.Max))
-	}
-	return hex.EncodeToString(h.Sum(nil))
-}
-
 // TestDistributedGolden is the tentpole acceptance test: the same
 // campaign run through a coordinator and N real local worker processes
 // produces a Summary bit-identical to the single-process run for
@@ -78,7 +63,7 @@ func TestDistributedGolden(t *testing.T) {
 	}
 	spec := testSpec(t, 24)
 	want := localRun(t, spec)
-	wantHash := summaryDigest(want.Summary)
+	wantHash := campaign.SummaryDigest(want.Summary)
 
 	for _, n := range []int{1, 2, 4} {
 		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
@@ -89,7 +74,7 @@ func TestDistributedGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := summaryDigest(rep.Summary); got != wantHash {
+			if got := campaign.SummaryDigest(rep.Summary); got != wantHash {
 				t.Errorf("summary digest %s, want single-process %s", got, wantHash)
 			}
 			if rep.Summary != want.Summary {
@@ -148,7 +133,7 @@ func TestDistributedSmoke10k(t *testing.T) {
 	spec := testSpec(t, 10_000)
 	start := time.Now()
 	want := localRun(t, spec)
-	wantHash := summaryDigest(want.Summary)
+	wantHash := campaign.SummaryDigest(want.Summary)
 	t.Logf("single-process reference: %v, digest %s", time.Since(start), wantHash)
 
 	run := func(name string, kill bool) {
@@ -171,7 +156,7 @@ func TestDistributedSmoke10k(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := summaryDigest(rep.Summary)
+			got := campaign.SummaryDigest(rep.Summary)
 			t.Logf("distributed: %v, digest %s", time.Since(start), got)
 			if got != wantHash {
 				t.Fatalf("summary digest %s, want single-process %s", got, wantHash)

@@ -15,7 +15,11 @@
 package coord
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"sync"
 
@@ -58,30 +62,101 @@ type message struct {
 	Error   string                `json:"error,omitempty"`
 }
 
+// maxFrameLen bounds one protocol frame. The largest legitimate frame
+// is a result carrying the serialised shard states of one range —
+// megabytes at most; the cap is what keeps a malformed or hostile peer
+// from making the reader buffer an endless unterminated line. Frames
+// are rejected at the framing layer, before any JSON decoding.
+const maxFrameLen = 64 << 20
+
 // conn frames messages as newline-delimited JSON over a byte stream.
 // Sends are serialised by a mutex (the worker's heartbeat goroutine
 // writes concurrently with result sends); receives have a single
-// reader by construction.
+// reader by construction. Each received line is length-capped and then
+// parsed by decodeFrame.
 type conn struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	dec *json.Decoder
+	mu sync.Mutex
+	w  io.Writer
+	br *bufio.Reader
 }
 
 func newConn(r io.Reader, w io.Writer) *conn {
-	return &conn{enc: json.NewEncoder(w), dec: json.NewDecoder(r)}
+	return &conn{w: w, br: bufio.NewReaderSize(r, 64<<10)}
 }
 
 func (c *conn) send(m *message) error {
+	buf, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(m)
+	_, err = c.w.Write(buf)
+	return err
 }
 
 func (c *conn) recv() (*message, error) {
-	var m message
-	if err := c.dec.Decode(&m); err != nil {
+	line, err := c.readFrame()
+	if err != nil {
 		return nil, err
+	}
+	return decodeFrame(line)
+}
+
+// readFrame reads one newline-terminated frame, failing as soon as the
+// accumulated line exceeds maxFrameLen instead of buffering without
+// bound.
+func (c *conn) readFrame() ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := c.br.ReadSlice('\n')
+		if len(buf)+len(chunk) > maxFrameLen {
+			return nil, fmt.Errorf("coord: frame exceeds %d bytes", maxFrameLen)
+		}
+		buf = append(buf, chunk...) // ReadSlice's buffer is only valid until the next read
+		switch err {
+		case nil:
+			return buf, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(buf) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// encodeFrame renders one message as a newline-terminated JSON frame.
+func encodeFrame(m *message) ([]byte, error) {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// decodeFrame parses one length-capped frame into a message. It
+// rejects oversized input, malformed JSON, frames with no type, and
+// trailing data after the object — a frame is one JSON object and
+// nothing else.
+func decodeFrame(line []byte) (*message, error) {
+	if len(line) > maxFrameLen {
+		return nil, fmt.Errorf("coord: frame exceeds %d bytes", maxFrameLen)
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	var m message
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("coord: bad frame: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("coord: trailing data after frame")
+	}
+	if m.Type == "" {
+		return nil, errors.New("coord: frame missing type")
 	}
 	return &m, nil
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestFig7AggregationByteStable pins the figure-emission aggregation
+// against Go's randomised map iteration order. sim.Time is a float64,
+// and float64 addition is not associative, so folding a latency map in
+// iteration order makes the emitted mean (hence the CSV/JSON points)
+// vary bitwise between runs. sortedLatencies must make the fold
+// byte-identical on every evaluation and match the pinned bit pattern.
+func TestFig7AggregationByteStable(t *testing.T) {
+	// Values chosen so that different summation orders produce
+	// different float64 results: a large term swamps the small ones.
+	stats := map[topology.TaskID]sim.Time{
+		0: 1e16, 1: 1, 2: 1, 3: 1, 4: -1e16,
+		5: 0.1, 6: 0.2, 7: 0.3, 8: 1e-3, 9: 7,
+	}
+	want := math.Float64bits(mean(sortedLatencies(stats)))
+	for i := 0; i < 200; i++ {
+		got := math.Float64bits(mean(sortedLatencies(stats)))
+		if got != want {
+			t.Fatalf("iteration %d: mean bits %016x, want %016x — figure emission is order-dependent", i, got, want)
+		}
+	}
+
+	// Pin the exact bits so a later change to the aggregation cannot
+	// silently reintroduce order dependence via a refactor.
+	// In ID order the three +1 terms are absorbed by 1e16 (ulp there
+	// is 2) and cancel exactly against -1e16, leaving mean = 0.7601.
+	const pinned = 0x3fe852bd3c361134
+	if got := math.Float64bits(mean(sortedLatencies(stats))); got != pinned {
+		t.Fatalf("pinned aggregation changed: got %016x want %016x", got, pinned)
+	}
+}

@@ -2,12 +2,30 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/queries"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
+
+// sortedLatencies flattens a per-task latency map in task-ID order.
+// The latencies feed a floating-point mean; iterating the map directly
+// would make the sum — and the emitted figure — depend on Go's
+// randomised map iteration order.
+func sortedLatencies(stats map[topology.TaskID]sim.Time) []float64 {
+	ids := make([]topology.TaskID, 0, len(stats))
+	for id := range stats {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, float64(stats[id]))
+	}
+	return out
+}
 
 // technique is one fault-tolerance configuration compared in Figs. 7-8.
 type technique struct {
@@ -124,9 +142,7 @@ func Fig7() (Result, error) {
 				if err != nil {
 					return Result{}, err
 				}
-				for _, l := range stats {
-					ls = append(ls, float64(l))
-				}
+				ls = append(ls, sortedLatencies(stats)...)
 			}
 			s.Points = append(s.Points, Point{X: cfg.label(), Y: mean(ls)})
 		}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// FloatFold reports floating-point accumulation whose evaluation
+// order varies between runs: compound float assignment (+=, -=, *=,
+// /=) into an outer variable inside a map-range body, inside a
+// goroutine closure, or inside a worker callback handed to the
+// internal/par pool. FP addition is not associative — summing the
+// same values in a different order changes low-order bits, which is
+// exactly the difference the summary golden hash pins across worker
+// counts. Fold into per-iteration locals and combine in a fixed
+// order, or use the streaming sketch reduction.
+var FloatFold = &analysis.Analyzer{
+	Name: floatFoldName,
+	Doc: "forbid order-dependent floating-point accumulation\n\n" +
+		"Float += / *= into a shared variable from inside map iteration, a\n" +
+		"goroutine, or an internal/par worker callback sums in an order that\n" +
+		"differs between runs and worker counts; FP arithmetic is non-associative,\n" +
+		"so the low-order bits differ too, breaking bit-identical summaries.\n" +
+		"Accumulate per-shard and reduce in index order (the campaign streaming\n" +
+		"reduction exists for exactly this), or annotate with\n" +
+		"//ppalint:allow floatfold <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runFloatFold,
+}
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func runFloatFold(pass *analysis.Pass) (interface{}, error) {
+	dirs := scanDirectives(pass, floatFoldName)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	check := func(body ast.Node, boundary ast.Node, context string) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || !compoundOps[st.Tok] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[st.Lhs[0]]
+			if !ok {
+				return true
+			}
+			basic, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsFloat == 0 {
+				return true
+			}
+			id := rootIdent(st.Lhs[0])
+			if id == nil {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			if boundary.Pos() <= obj.Pos() && obj.Pos() <= boundary.End() {
+				return true // accumulator local to the context: order fixed
+			}
+			f := enclosingFile(pass, st.Pos())
+			if f == nil || isTestFile(pass.Fset, f) || dirs.allowed(st.Pos()) {
+				return true
+			}
+			pass.Reportf(st.Pos(),
+				"floating-point accumulation into %s inside %s sums in nondeterministic order (FP is non-associative); fold per shard and reduce in fixed order (or //ppalint:allow floatfold <reason>)",
+				id.Name, context)
+			return true
+		})
+	}
+
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		loop := n.(*ast.RangeStmt)
+		if tv, ok := pass.TypesInfo.Types[loop.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				check(loop.Body, loop, "map iteration")
+			}
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		g := n.(*ast.GoStmt)
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			check(lit.Body, lit, "a goroutine")
+		}
+	})
+
+	// Worker callbacks: func literals passed to the internal/par pool
+	// run concurrently across workers.
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/par") {
+			return
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				check(lit.Body, lit, "a parallel worker callback")
+			}
+		}
+	})
+	return nil, nil
+}

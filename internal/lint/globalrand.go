@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// randConstructors are the math/rand functions that build an
+// explicitly seeded source or generator — the sanctioned way to get
+// randomness here. Everything else at package level draws from the
+// process-global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// GlobalRand reports randomness that cannot be reproduced from a
+// recorded seed: top-level math/rand functions (they share the
+// process-global source, so any other goroutine's draw shifts the
+// sequence) and sources seeded from the wall clock. Every scenario
+// generator, planner and campaign in this repo threads an explicit
+// seeded *rand.Rand precisely so a report can be regenerated
+// bit-identically; one global draw breaks that chain.
+var GlobalRand = &analysis.Analyzer{
+	Name: globalRandName,
+	Doc: "forbid process-global or wall-clock-seeded randomness\n\n" +
+		"Top-level math/rand functions (rand.Intn, rand.Float64, ...) draw from the\n" +
+		"shared global source: concurrent draws interleave nondeterministically and\n" +
+		"results cannot be replayed from a seed. Constructing a source from the wall\n" +
+		"clock (rand.NewSource(time.Now().UnixNano())) has the same effect. Thread a\n" +
+		"seeded *rand.Rand instead. Applies everywhere outside _test.go files.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runGlobalRand,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func runGlobalRand(pass *analysis.Pass) (interface{}, error) {
+	dirs := scanDirectives(pass, globalRandName)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	report := func(pos ast.Node, format string, args ...interface{}) {
+		f := enclosingFile(pass, pos.Pos())
+		if f == nil || isTestFile(pass.Fset, f) || dirs.allowed(pos.Pos()) {
+			return
+		}
+		pass.Reportf(pos.Pos(), format, args...)
+	}
+
+	// usesWallClock reports whether the expression tree references
+	// time.Now — the wall-clock-seeded-source pattern.
+	usesWallClock := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+			return
+		}
+		// Methods on *rand.Rand are fine: the caller owns the seed.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+		if !randConstructors[fn.Name()] {
+			report(sel, "rand.%s draws from the process-global source and cannot be replayed from a seed; use a seeded *rand.Rand (or //ppalint:allow globalrand <reason>)", fn.Name())
+		}
+	})
+
+	// Wall-clock seeds: rand constructor whose argument derives from
+	// time.Now.
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) || !randConstructors[fn.Name()] {
+			return
+		}
+		for _, arg := range call.Args {
+			if usesWallClock(arg) {
+				report(call, "rand.%s seeded from the wall clock is unreproducible; thread a recorded seed instead (or //ppalint:allow globalrand <reason>)", fn.Name())
+				return
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,159 @@
+// Package lint implements the ppalint analyzer suite: first-party
+// go/analysis analyzers encoding this repository's determinism and
+// safety invariants, the properties the golden-hash, summary-hash and
+// distributed-golden tests check after the fact. The analyzers move
+// that enforcement to go vet time, where a violation names the exact
+// line instead of a flipped digest.
+//
+// Analyzers (see Analyzers):
+//
+//	walltime     wall-clock time in deterministic packages
+//	globalrand   process-global or wall-clock-seeded randomness
+//	maporder     order-sensitive work inside map iteration
+//	floatfold    order-dependent floating-point accumulation
+//	pooledescape use of pooled values after their release
+//
+// A finding that is intentional is suppressed in place with a
+// directive comment, on the offending line or the line above:
+//
+//	//ppalint:allow <analyzer> <reason>
+//
+// The reason is mandatory: a directive without one does not suppress
+// anything and is itself reported. Files outside the deterministic
+// package set opt into the walltime analyzer with a file-level
+//
+//	//ppalint:deterministic
+//
+// comment (conventionally next to the package clause) — the
+// coordinator's merge/partition path uses this, since the rest of
+// internal/coord legitimately runs on wall-clock heartbeats.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full ppalint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		WallTime,
+		GlobalRand,
+		MapOrder,
+		FloatFold,
+		PooledEscape,
+	}
+}
+
+const (
+	allowPrefix         = "//ppalint:allow"
+	deterministicMarker = "//ppalint:deterministic"
+)
+
+// Analyzer names, shared between the Analyzer literals and their run
+// functions (the run functions cannot reference the analyzer vars —
+// that would be an initialization cycle).
+const (
+	wallTimeName     = "walltime"
+	globalRandName   = "globalrand"
+	mapOrderName     = "maporder"
+	floatFoldName    = "floatfold"
+	pooledEscapeName = "pooledescape"
+)
+
+// allowDirective is one parsed //ppalint:allow comment.
+type allowDirective struct {
+	pos      token.Pos
+	analyzer string
+	reason   string
+}
+
+// directives indexes one pass's ppalint comments for a single
+// analyzer: suppressions by (file, line) and the set of files marked
+// deterministic. Reasonless directives naming the analyzer are
+// reported during the scan — they suppress nothing.
+type directives struct {
+	fset          *token.FileSet
+	allow         map[string]map[int]bool // filename -> line -> suppressed
+	deterministic map[*ast.File]bool
+}
+
+// scanDirectives parses every comment of the pass once for the named
+// analyzer. It reports directives that name the analyzer but carry no
+// reason.
+func scanDirectives(pass *analysis.Pass, analyzer string) *directives {
+	d := &directives{
+		fset:          pass.Fset,
+		allow:         make(map[string]map[int]bool),
+		deterministic: make(map[*ast.File]bool),
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if text == deterministicMarker || strings.HasPrefix(text, deterministicMarker+" ") {
+					d.deterministic[f] = true
+					continue
+				}
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 || fields[0] != analyzer {
+					continue // another analyzer's directive (or empty: ignored by all)
+				}
+				if len(fields) < 2 {
+					pass.Reportf(c.Pos(), "ppalint:allow %s needs a reason (\"//ppalint:allow %s <why this is safe>\")", analyzer, analyzer)
+					continue
+				}
+				pos := d.fset.Position(c.Pos())
+				lines := d.allow[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					d.allow[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return d
+}
+
+// allowed reports whether a finding at pos is suppressed by a
+// directive on the same line or the line immediately above.
+func (d *directives) allowed(pos token.Pos) bool {
+	p := d.fset.Position(pos)
+	lines := d.allow[p.Filename]
+	return lines != nil && (lines[p.Line] || lines[p.Line-1])
+}
+
+// isDeterministicFile reports whether f carries the file-level
+// //ppalint:deterministic marker.
+func (d *directives) isDeterministicFile(f *ast.File) bool { return d.deterministic[f] }
+
+// isTestFile reports whether the file's name ends in _test.go.
+// Determinism invariants bind production code; tests draw wall-clock
+// deadlines and throwaway randomness legitimately.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// pathMatches reports whether pkgpath equals pattern or ends in
+// "/"+pattern — suffix matching on whole path elements, so the
+// deterministic package list works for any module path prefix.
+func pathMatches(pkgpath, pattern string) bool {
+	return pkgpath == pattern || strings.HasSuffix(pkgpath, "/"+pattern)
+}
+
+// enclosingFile returns the *ast.File of pos.
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

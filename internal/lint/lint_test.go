@@ -1,0 +1,48 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+// TestWallTime: wall-clock reads are reported in deterministic
+// packages (by import-path suffix), ignored elsewhere, and re-enabled
+// per file by the //ppalint:deterministic marker.
+func TestWallTime(t *testing.T) {
+	linttest.Run(t, fixture("walltime", "inscope"), "repro/internal/engine", lint.WallTime)
+	linttest.Run(t, fixture("walltime", "outofscope"), "example.com/other", lint.WallTime)
+}
+
+// TestGlobalRand: top-level math/rand draws and wall-clock-seeded
+// sources are reported everywhere outside _test.go files.
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, fixture("globalrand", "a"), "example.com/a", lint.GlobalRand)
+}
+
+// TestMapOrder: order-sensitive bodies of range-over-map loops are
+// reported; collect-then-sort, map-to-map and commutative counters
+// are not.
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, fixture("maporder", "a"), "example.com/m", lint.MapOrder)
+}
+
+// TestFloatFold: non-associative FP accumulation inside map iteration
+// and goroutines is reported; integer sums and loop-local
+// accumulators are not.
+func TestFloatFold(t *testing.T) {
+	linttest.Run(t, fixture("floatfold", "a"), "example.com/f", lint.FloatFold)
+}
+
+// TestPooledEscape: uses of pooled values after sync.Pool Put or
+// free-list put/release are reported; release-after-last-use and
+// refreshed handles are not.
+func TestPooledEscape(t *testing.T) {
+	linttest.Run(t, fixture("pooledescape", "a"), "example.com/p", lint.PooledEscape)
+}

@@ -1,0 +1,203 @@
+// Package linttest is a self-contained analysistest-style harness for
+// the ppalint analyzers. It loads one fixture directory as a single
+// package, type-checks it against the standard library with the
+// source importer (no network, no export data), runs an analyzer, and
+// compares its diagnostics with expectation comments in the fixtures:
+//
+//	work()        // want "regexp matching the diagnostic"
+//	// want+2 "regexp"      <- expectation for the line 2 below, used when
+//	highlight()   //           that line ends in a directive comment
+//
+// Several quoted regexps on one want comment expect several
+// diagnostics on that line. Every diagnostic must be expected and
+// every expectation matched, or the test fails with a per-line diff.
+//
+// The vendored x/tools subset (copied from the Go toolchain's own
+// cmd/vendor tree) deliberately excludes go/analysis/analysistest —
+// it drags in go/packages and a module loader that need network or
+// export data; this harness covers the needed slice of it offline.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// expectation is one `want` regexp anchored to a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`want(\+\d+)?((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+// Run loads dir as one package under importPath, runs a (with the
+// inspect dependency satisfied), and checks diagnostics against the
+// fixtures' want comments. The importPath matters: path-scoped
+// analyzers like walltime key their scope off it.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: reading fixtures: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixtures in %s", dir)
+	}
+
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {}, // collect diagnostics even on type errors
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Logf("linttest: type errors in fixtures (continuing): %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              fset,
+		Files:             files,
+		Pkg:               pkg,
+		TypesInfo:         info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          map[*analysis.Analyzer]interface{}{},
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		ReadFile:          os.ReadFile,
+	}
+	for _, dep := range a.Requires {
+		switch dep {
+		case inspect.Analyzer:
+			pass.ResultOf[inspect.Analyzer] = inspector.New(files)
+		default:
+			t.Fatalf("linttest: analyzer %s requires unsupported dependency %s", a.Name, dep.Name)
+		}
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+	}
+
+	expects := parseWants(t, fset, files)
+	// Match diagnostics against expectations.
+	var unexpected []string
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != p.Filename || e.line != p.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			unexpected = append(unexpected, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", filepath.Base(p.Filename), p.Line, d.Message))
+		}
+	}
+	var unmatched []string
+	for _, e := range expects {
+		if !e.matched {
+			unmatched = append(unmatched, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(e.file), e.line, e.re))
+		}
+	}
+	sort.Strings(unexpected)
+	sort.Strings(unmatched)
+	for _, m := range append(unexpected, unmatched...) {
+		t.Error(m)
+	}
+	_ = names
+}
+
+// parseWants extracts want / want-next expectations from all fixture
+// comments.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want")
+				if i < 0 {
+					continue
+				}
+				m := wantRE.FindStringSubmatch(text[i:])
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				line := p.Line
+				if m[1] != "" {
+					n, err := strconv.Atoi(m[1][1:])
+					if err != nil {
+						t.Fatalf("linttest: bad want offset %q at %s", m[1], p)
+					}
+					line += n
+				}
+				for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(m[2], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("linttest: bad want string %s at %s: %v", q, p, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("linttest: bad want regexp %q at %s: %v", s, p, err)
+					}
+					out = append(out, &expectation{file: p.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}

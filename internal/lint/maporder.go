@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapOrder reports order-sensitive work done directly inside `for
+// range` over a map. Go randomises map iteration order per run, so a
+// loop that appends to a slice, sends on a channel, writes output or
+// folds into an accumulator produces a different sequence every
+// execution — the exact class of bug that flips a golden hash or
+// reorders CSV rows between two runs of the same campaign. The fix is
+// mechanical: collect the keys, sort them, range over the sorted
+// slice. Loops whose appended slice is sorted immediately after the
+// loop are recognised as already deterministic.
+var MapOrder = &analysis.Analyzer{
+	Name: mapOrderName,
+	Doc: "forbid order-sensitive work inside map iteration\n\n" +
+		"Map iteration order is randomised per run. A range-over-map body that\n" +
+		"appends to an outer slice (unless the slice is sorted right after the\n" +
+		"loop), sends on a channel, writes output (fmt.Print*/Fprint*, Write,\n" +
+		"Encode, ...), concatenates strings, or folds into an outer accumulator\n" +
+		"(Add/Merge/...) therefore produces a different sequence every execution.\n" +
+		"Sort the keys and range over the sorted slice, or annotate a genuinely\n" +
+		"order-insensitive fold with //ppalint:allow maporder <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapOrder,
+}
+
+// foldMethods are accumulator method names whose call order usually
+// matters (sketch folds, merges, ordered collections).
+var foldMethods = map[string]bool{
+	"Add": true, "Merge": true, "Observe": true, "Record": true, "Push": true,
+}
+
+// emitMethods write bytes or values to an output in call order.
+var emitMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Print": true, "Printf": true, "Println": true,
+}
+
+// orderInsensitiveRecv lists receiver types whose fold-named methods
+// are commutative bookkeeping, not ordered accumulation.
+var orderInsensitiveRecv = map[string]bool{
+	"sync.WaitGroup": true,
+	"sync/atomic":    true, // any type from sync/atomic
+}
+
+func runMapOrder(pass *analysis.Pass) (interface{}, error) {
+	dirs := scanDirectives(pass, mapOrderName)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Enclosing-block index so the sort-after-loop exemption can see
+	// the statements following each range loop.
+	blockOf := make(map[*ast.RangeStmt][]ast.Stmt)
+	ins.Preorder([]ast.Node{(*ast.BlockStmt)(nil)}, func(n ast.Node) {
+		b := n.(*ast.BlockStmt)
+		for i, st := range b.List {
+			if r, ok := st.(*ast.RangeStmt); ok {
+				blockOf[r] = b.List[i+1:]
+			}
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		loop := n.(*ast.RangeStmt)
+		tv, ok := pass.TypesInfo.Types[loop.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		f := enclosingFile(pass, loop.Pos())
+		if f == nil || isTestFile(pass.Fset, f) {
+			return
+		}
+		checkMapLoop(pass, dirs, loop, blockOf[loop])
+	})
+	return nil, nil
+}
+
+func checkMapLoop(pass *analysis.Pass, dirs *directives, loop *ast.RangeStmt, after []ast.Stmt) {
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !dirs.allowed(pos) {
+			pass.Reportf(pos, format+" (or //ppalint:allow maporder <reason>)", args...)
+		}
+	}
+	outside := func(e ast.Expr) (*ast.Ident, bool) {
+		id := rootIdent(e)
+		if id == nil {
+			return nil, false
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return nil, false
+		}
+		inside := loop.Pos() <= obj.Pos() && obj.Pos() <= loop.End()
+		return id, !inside
+	}
+
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			report(st.Pos(), "send on %s inside map iteration delivers values in nondeterministic order; sort the keys first", exprString(st.Chan))
+		case *ast.AssignStmt:
+			// s = append(s, ...) into an outer slice.
+			if len(st.Rhs) == 1 {
+				if call, ok := st.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					if id, out := outside(st.Lhs[0]); out && !sortedAfter(pass, id, after) {
+						report(st.Pos(), "append to %s inside map iteration is order-dependent; sort the keys first", id.Name)
+					}
+					return true
+				}
+			}
+			// s += t string concatenation into an outer string.
+			if st.Tok == token.ADD_ASSIGN {
+				if b, ok := pass.TypesInfo.Types[st.Lhs[0]]; ok {
+					if basic, ok := b.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						if id, out := outside(st.Lhs[0]); out {
+							report(st.Pos(), "string concatenation into %s inside map iteration is order-dependent; sort the keys first", id.Name)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkMapLoopCall(pass, report, outside, st)
+		}
+		return true
+	})
+}
+
+// checkMapLoopCall flags output and fold calls inside a map loop.
+func checkMapLoopCall(pass *analysis.Pass, report func(token.Pos, string, ...interface{}), outside func(ast.Expr) (*ast.Ident, bool), call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() == nil {
+		// Package function: fmt emission family.
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch fn.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				report(call.Pos(), "fmt.%s inside map iteration emits output in nondeterministic order; sort the keys first", fn.Name())
+			}
+		}
+		return
+	}
+	name := fn.Name()
+	if !foldMethods[name] && !emitMethods[name] {
+		return
+	}
+	id, out := outside(sel.X)
+	if !out {
+		return
+	}
+	if recvOrderInsensitive(pass, sel.X) {
+		return
+	}
+	if emitMethods[name] {
+		report(call.Pos(), "%s.%s inside map iteration emits output in nondeterministic order; sort the keys first", id.Name, name)
+	} else {
+		report(call.Pos(), "%s.%s folds values in map-iteration order, which differs between runs; sort the keys first", id.Name, name)
+	}
+}
+
+// recvOrderInsensitive reports whether e's type is a known
+// commutative accumulator (WaitGroup counters, atomics).
+func recvOrderInsensitive(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	return pkg == "sync/atomic" || orderInsensitiveRecv[pkg+"."+named.Obj().Name()]
+}
+
+// sortedAfter reports whether one of the statements following the
+// loop sorts the slice id — the collect-then-sort idiom, which is
+// deterministic overall. A sorting statement is a call into the sort
+// or slices package, or a local helper whose name contains "sort"
+// (sortIDs, sortTaskIDs, ...), with the slice as its first argument.
+func sortedAfter(pass *analysis.Pass, id *ast.Ident, after []ast.Stmt) bool {
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	for _, st := range after {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		var fnName string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				continue
+			}
+			fnName = "sort" // any sort./slices. call counts
+		case *ast.Ident:
+			fnName = fun.Name
+		default:
+			continue
+		}
+		if !strings.Contains(strings.ToLower(fnName), "sort") {
+			continue
+		}
+		if arg := rootIdent(call.Args[0]); arg != nil && pass.TypesInfo.ObjectOf(arg) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdent unwraps selectors, indexes, parens and derefs down to the
+// base identifier: x.f[i] -> x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a short expression for diagnostics.
+func exprString(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "channel"
+}

@@ -1,0 +1,64 @@
+package a
+
+func mapFoldBad(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation into sum inside map iteration"
+	}
+	return sum
+}
+
+func mapProductBad(m map[int]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want "floating-point accumulation into p inside map iteration"
+	}
+	return p
+}
+
+// Integer accumulation is exact in any order.
+func mapIntOK(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func goroutineBad(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{}, len(xs))
+	for _, x := range xs {
+		go func(x float64) {
+			total += x // want "floating-point accumulation into total inside a goroutine"
+			done <- struct{}{}
+		}(x)
+	}
+	for range xs {
+		<-done
+	}
+	return total
+}
+
+// An accumulator local to the loop body has a fixed fold order.
+func localAccOK(m map[int][]float64) int {
+	n := 0
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func suppressed(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //ppalint:allow floatfold fixture exercising suppression
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() {
+	_ = rand.Intn(10)                  // want "rand.Intn draws from the process-global source"
+	_ = rand.Float64()                 // want "rand.Float64 draws from the process-global source"
+	_ = rand.Perm(4)                   // want "rand.Perm draws from the process-global source"
+	rand.Shuffle(2, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+}
+
+func seeded() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10) // methods on an owned *rand.Rand are fine
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the wall clock" "rand.NewSource seeded from the wall clock"
+}
+
+func suppressed() int {
+	return rand.Intn(10) //ppalint:allow globalrand fixture exercising suppression
+}

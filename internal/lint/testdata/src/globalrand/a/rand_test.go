@@ -1,0 +1,6 @@
+package a
+
+import "math/rand"
+
+// Test files may use throwaway global randomness freely.
+func testOnlyHelper() int { return rand.Intn(10) }

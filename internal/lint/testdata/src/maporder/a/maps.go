@@ -1,0 +1,110 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+func appendBad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+// The collect-then-sort idiom is deterministic overall and exempt.
+func appendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// A local sort helper after the loop counts as collect-then-sort.
+func appendHelperSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sendBad(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "send on ch inside map iteration delivers values in nondeterministic order"
+	}
+}
+
+func printBad(m map[int]int) {
+	for k, v := range m {
+		fmt.Printf("%d=%d\n", k, v) // want "fmt.Printf inside map iteration emits output"
+	}
+}
+
+type acc struct{ vals []float64 }
+
+func (a *acc) Add(v float64) { a.vals = append(a.vals, v) }
+
+func foldBad(m map[int]float64, a *acc) {
+	for _, v := range m {
+		a.Add(v) // want "a.Add folds values in map-iteration order"
+	}
+}
+
+func foldAllowed(m map[int]float64, a *acc) {
+	for _, v := range m {
+		a.Add(v) //ppalint:allow maporder this accumulator is commutative in the fixture
+	}
+}
+
+// WaitGroup counters are commutative bookkeeping, not folds.
+func wgOK(m map[int]int, wg *sync.WaitGroup) {
+	for range m {
+		wg.Add(1)
+	}
+}
+
+func strBad(m map[int]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want "string concatenation into s inside map iteration"
+	}
+	return s
+}
+
+// Building another map is order-insensitive.
+func mapToMapOK(m map[int]int) map[int]int {
+	out := map[int]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Integer sums are exact whatever the order.
+func intSumOK(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Appending into a slice declared inside the loop body is ordered
+// only within one iteration.
+func innerLocalOK(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

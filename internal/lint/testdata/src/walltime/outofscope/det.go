@@ -1,0 +1,11 @@
+// A file outside the deterministic package set opts in with the
+// file-level marker — the coordinator's merge/partition path pattern.
+//
+//ppalint:deterministic
+package other
+
+import "time"
+
+func optedIn() time.Time {
+	return time.Now() // want "time.Now reads the wall clock in deterministic code"
+}

@@ -1,0 +1,10 @@
+// Fixture type-checked under example.com/other: not a deterministic
+// package, so wall-clock use is unconstrained here.
+package other
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

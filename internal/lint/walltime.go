@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// defaultDeterministicPackages are the package-path suffixes whose
+// results must be a pure function of their inputs: everything the
+// golden-hash and distributed-golden tests pin. internal/coord is
+// absent deliberately — its heartbeat machinery is wall-clock by
+// design, and only its merge/partition files opt in via the
+// //ppalint:deterministic marker.
+const defaultDeterministicPackages = "internal/sim,internal/engine,internal/campaign,internal/sketch,internal/plan,internal/cluster"
+
+// wallTimeFuncs are the time package functions that read or wait on
+// the wall clock. Referencing one (not just calling it) is reported:
+// storing time.Now in a variable smuggles nondeterminism just as well.
+var wallTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallTime reports wall-clock time usage inside deterministic
+// packages. Simulation, planning and aggregation code runs on virtual
+// time so that results are bit-reproducible and independent of host
+// speed; one time.Now() in a hot path silently breaks the golden
+// hashes and every paired-comparison statistic built on them.
+var WallTime = &analysis.Analyzer{
+	Name: wallTimeName,
+	Doc: "forbid wall-clock time in deterministic packages\n\n" +
+		"Deterministic packages (default: " + defaultDeterministicPackages + ")\n" +
+		"must compute identical results for identical inputs; time.Now, time.Since,\n" +
+		"time.Sleep, time.After, timers and tickers make results depend on host speed\n" +
+		"and scheduling. Use the sim.Clock. Other files opt in with a file-level\n" +
+		"//ppalint:deterministic comment; intentional uses carry\n" +
+		"//ppalint:allow walltime <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runWallTime,
+}
+
+func init() {
+	WallTime.Flags.String("packages", defaultDeterministicPackages,
+		"comma-separated package path suffixes treated as deterministic")
+}
+
+func runWallTime(pass *analysis.Pass) (interface{}, error) {
+	dirs := scanDirectives(pass, wallTimeName)
+	patterns := strings.Split(pass.Analyzer.Flags.Lookup("packages").Value.String(), ",")
+	pkgInScope := false
+	for _, p := range patterns {
+		if p = strings.TrimSpace(p); p != "" && pathMatches(pass.Pkg.Path(), p) {
+			pkgInScope = true
+			break
+		}
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.SelectorExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallTimeFuncs[fn.Name()] {
+			return
+		}
+		f := enclosingFile(pass, sel.Pos())
+		if f == nil || isTestFile(pass.Fset, f) {
+			return
+		}
+		if !pkgInScope && !dirs.isDeterministicFile(f) {
+			return
+		}
+		if dirs.allowed(sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"time.%s reads the wall clock in deterministic code; use the sim clock (or //ppalint:allow walltime <reason>)",
+			fn.Name())
+	})
+	return nil, nil
+}

@@ -1,0 +1,48 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSketchUnmarshalBinary feeds arbitrary bytes to UnmarshalBinary.
+// The decoder must either reject the input with an error or accept it
+// — never panic, and never allocate proportionally to an unvalidated
+// length field (a checksum-valid encoding is trivial to craft, so the
+// CRC is corruption detection, not a trust boundary). Accepted inputs
+// must re-marshal to the same bytes: acceptance means the encoding was
+// canonical.
+func FuzzSketchUnmarshalBinary(f *testing.F) {
+	// Seed with real encodings at a few sizes, plus their truncations
+	// and the degenerate inputs the error paths handle.
+	for _, n := range []int{0, 1, 100} {
+		s := NewSeeded(32, 7)
+		for i := 0; i < n; i++ {
+			s.Add(float64(i) * 1.5)
+		}
+		enc, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ppaq"))
+	f.Add([]byte("ppaq\x01"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Sketch
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted a non-canonical encoding:\n in: %x\nout: %x", data, out)
+		}
+	})
+}

@@ -97,6 +97,13 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	mn := math.Float64frombits(u64())
 	mx := math.Float64frombits(u64())
 	nLevels := int(u32())
+	// Every level costs at least a 4-byte length, so a count beyond
+	// len(r)/4 cannot be satisfied by the remaining bytes. Checking
+	// before the allocation keeps a crafted (checksum-valid) encoding
+	// from forcing a multi-gigabyte levels slice.
+	if nLevels > len(r)/4 {
+		return fmt.Errorf("sketch: implausible level count %d for %d remaining bytes", nLevels, len(r))
+	}
 	levels := make([][]float64, nLevels)
 	size := 0
 	for l := range levels {
