@@ -1,12 +1,13 @@
 // The deterministic half of distributed job execution: partitioning
 // the scenario space and merging the shard states the workers return.
 // This file is kept separate from pool.go — whose scheduling machinery
-// legitimately runs on wall-clock heartbeats and timers — and opts
-// into ppalint's walltime analyzer, so that nondeterminism can never
-// leak into the path that must stay bit-identical to the
-// single-process campaign.RunContext.
-//
-//ppalint:deterministic
+// legitimately runs on wall-clock heartbeats and timers. partitionJob
+// and mergeJob are declared determinism roots of the detclose
+// analyzer, which verifies their whole transitive call closure stays
+// free of wall-clock reads, global randomness and order-sensitive
+// folds — strictly stronger than the file-level marker this file used
+// to carry, so nondeterminism can never leak into the path that must
+// stay bit-identical to the single-process campaign.RunContext.
 package coord
 
 import (

@@ -103,7 +103,8 @@ func (p *Pool) AddProcess(cmd *exec.Cmd) (*os.Process, error) {
 	p.add(newConn(stdout, stdin), func() {
 		stdin.Close()
 		_ = cmd.Process.Kill()
-		go cmd.Wait() // reap
+		//ppalint:allow ctxspawn reaper returns as soon as the just-killed process is collected
+		go cmd.Wait()
 	})
 	return cmd.Process, nil
 }
@@ -127,6 +128,7 @@ func (p *Pool) add(c *conn, closeFn func()) {
 	w.id = len(p.workers)
 	p.workers = append(p.workers, w)
 	p.mu.Unlock()
+	//ppalint:allow ctxspawn reader lifetime is bounded by the connection; closing it unblocks recv
 	go func() {
 		defer close(w.msgs)
 		defer p.markDead(w)
@@ -319,6 +321,15 @@ func (p *Pool) runWorker(ctx context.Context, w *poolWorker, jobID int, spec *ca
 					timer.Stop()
 					sched.fail(fmt.Errorf("coord: worker %d: %s", w.id, m.Error))
 					_ = w.c.send(&message{Type: msgCancel, Job: jobID})
+					return
+				default:
+					// A frame kind the coordinator never expects on a
+					// job stream (job, assign, cancel, shutdown echoed
+					// back, or a newer protocol's kind): the worker is
+					// confused, treat it as lost so its range is
+					// reassigned instead of silently dropping frames.
+					timer.Stop()
+					lost(&t)
 					return
 				}
 			case <-timer.C:

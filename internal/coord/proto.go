@@ -91,6 +91,7 @@ func (c *conn) send(m *message) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//ppalint:allow lockheld the lock exists to serialise whole-frame writes; senders expect to block
 	_, err = c.w.Write(buf)
 	return err
 }

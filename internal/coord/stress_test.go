@@ -1,0 +1,82 @@
+package coord
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// TestServeWorkerUnknownFrame: a frame kind the worker protocol does
+// not define must produce an explicit error frame and terminate the
+// session — never a silent drop. This pins the exhaustive-dispatch
+// behaviour the framecase analyzer enforces statically.
+func TestServeWorkerUnknownFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	done := make(chan error, 1)
+	go func() { done <- ServeWorker(context.Background(), b, b, WorkerOptions{}) }()
+
+	c := newConn(a, a)
+	hello, err := c.recv()
+	if err != nil || hello.Type != msgHello {
+		t.Fatalf("handshake = %+v, %v; want a hello frame", hello, err)
+	}
+	if err := c.send(&message{Type: "bogus", Job: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		got, err := c.recv()
+		if err != nil {
+			t.Fatalf("recv after bogus frame: %v (want an error frame)", err)
+		}
+		if got.Type == msgHeartbeat {
+			continue // liveness traffic may interleave
+		}
+		if got.Type != msgError || got.Job != 7 || !strings.Contains(got.Error, "bogus") {
+			t.Fatalf("reply = %+v, want an error frame for job 7 naming the bogus kind", got)
+		}
+		break
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "unexpected frame kind") {
+			t.Fatalf("ServeWorker = %v, want an unexpected-frame-kind error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeWorker did not exit after the unknown frame")
+	}
+}
+
+// TestCoordStress: several sequential jobs over a pool of four real
+// in-process workers, every report digest bit-identical to the
+// single-process reference. Run under -race this exercises the
+// concurrent heartbeat/result/assign machinery hard enough to surface
+// ordering bugs the single-job tests miss.
+func TestCoordStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-job stress run; skipped in -short")
+	}
+	spec := testSpec(t, 48)
+	want := campaign.SummaryDigest(localRun(t, spec).Summary)
+
+	p := NewPool(PoolOptions{RangesPerWorker: 3})
+	defer p.Close()
+	for i := 0; i < 4; i++ {
+		addServedWorker(t, p)
+	}
+	waitReady(t, p, 4)
+
+	for job := 0; job < 5; job++ {
+		rep, err := p.RunJob(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("job %d: %v", job, err)
+		}
+		if got := campaign.SummaryDigest(rep.Summary); got != want {
+			t.Fatalf("job %d: summary digest %s, want %s", job, got, want)
+		}
+	}
+}

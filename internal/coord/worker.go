@@ -56,6 +56,8 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 				_ = c.send(&message{Type: msgHeartbeat, Job: int(curJob.Load()), Done: int(done.Load())})
 			case <-stopHB:
 				return
+			case <-ctx.Done():
+				return
 			}
 		}
 	}()
@@ -146,6 +148,14 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 			mu.Unlock()
 		case msgShutdown:
 			return nil
+		default:
+			// A frame kind the worker never legitimately receives
+			// (hello, heartbeat, result, error — or something newer
+			// than this protocol version): fail loudly instead of
+			// dropping it, so a version skew surfaces at the first
+			// frame rather than as a silent hang.
+			_ = c.send(errMsg(m.Job, fmt.Sprintf("unexpected frame kind %q", m.Type)))
+			return fmt.Errorf("coord: worker received unexpected frame kind %q", m.Type)
 		}
 	}
 }

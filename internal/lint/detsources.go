@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// sprintf is fmt.Sprintf under a short name for the detection cores,
+// which build diagnostic messages for two consumers (the per-analyzer
+// report and detclose's taint-source scan).
+func sprintf(format string, args ...interface{}) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// taintSource is one direct determinism hazard inside a function body:
+// the same findings the walltime, globalrand, maporder and floatfold
+// analyzers report, here attributed to the enclosing function so
+// detclose can seed its interprocedural taint propagation.
+type taintSource struct {
+	pos  token.Pos
+	kind string // the source analyzer's name: its allow directive also suppresses the taint
+	desc string
+}
+
+// scanTaintSources walks root (a function body, or any decl subtree)
+// and returns its direct taint sources in position order, skipping
+// sources suppressed by an //ppalint:allow directive of the source
+// analyzer's name or of detclose itself. Suppressing a source this
+// way asserts the construct is deterministic after all, so it also
+// stops the taint from propagating to callers.
+func scanTaintSources(pass *analysis.Pass, root ast.Node, dirs *directives) []taintSource {
+	var out []taintSource
+	add := func(pos token.Pos, kind, desc string) {
+		if dirs.allowedFor(kind, pos) || dirs.allowedFor(detCloseName, pos) {
+			return
+		}
+		out = append(out, taintSource{pos: pos, kind: kind, desc: desc})
+	}
+
+	// walltime: any reference to a wall-clock time function — calling
+	// or merely storing it — makes the result depend on host time.
+	wallClockRefs(pass, root, func(pos token.Pos, name string) {
+		add(pos, wallTimeName, sprintf("reads the wall clock via time.%s", name))
+	})
+
+	// globalrand: top-level math/rand draws come from the shared
+	// process-global source and cannot be replayed from a seed.
+	globalRandRefs(pass, root, func(pos token.Pos, name string) {
+		add(pos, globalRandName, sprintf("draws from the process-global source via rand.%s", name))
+	})
+
+	// maporder: order-sensitive work inside range-over-map.
+	mapRangeLoops(pass, root, func(loop *ast.RangeStmt, after []ast.Stmt) {
+		checkMapLoop(pass, loop, after, func(pos token.Pos, msg string) {
+			add(pos, mapOrderName, msg)
+		})
+	})
+
+	// floatfold: non-associative FP accumulation in scheduling-
+	// dependent order.
+	floatFoldContexts(pass, root, func(body ast.Node, boundary ast.Node, context string) {
+		checkFloatFold(pass, body, boundary, context, func(pos token.Pos, msg string) {
+			add(pos, floatFoldName, msg)
+		})
+	})
+
+	sortSources(out)
+	return out
+}
+
+func sortSources(ss []taintSource) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].pos < ss[j-1].pos; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// wallClockRefs calls emit for every reference under root to a time
+// package function that reads or waits on the wall clock.
+func wallClockRefs(pass *analysis.Pass, root ast.Node, emit func(pos token.Pos, name string)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallTimeFuncs[fn.Name()] {
+			emit(sel.Pos(), fn.Name())
+		}
+		return true
+	})
+}
+
+// globalRandRefs calls emit for every reference under root to a
+// top-level math/rand (or math/rand/v2) function other than the
+// explicit source constructors. Methods on *rand.Rand are fine: the
+// caller owns the seed. Wall-clock-seeded constructors are covered by
+// wallClockRefs, which flags the time.Now reference itself.
+func globalRandRefs(pass *analysis.Pass, root ast.Node, emit func(pos token.Pos, name string)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		if !randConstructors[fn.Name()] {
+			emit(sel.Pos(), fn.Name())
+		}
+		return true
+	})
+}

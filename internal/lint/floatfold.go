@@ -45,75 +45,115 @@ func runFloatFold(pass *analysis.Pass) (interface{}, error) {
 	dirs := scanDirectives(pass, floatFoldName)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
-	check := func(body ast.Node, boundary ast.Node, context string) {
-		ast.Inspect(body, func(n ast.Node) bool {
-			st, ok := n.(*ast.AssignStmt)
-			if !ok || !compoundOps[st.Tok] {
-				return true
-			}
-			tv, ok := pass.TypesInfo.Types[st.Lhs[0]]
-			if !ok {
-				return true
-			}
-			basic, ok := tv.Type.Underlying().(*types.Basic)
-			if !ok || basic.Info()&types.IsFloat == 0 {
-				return true
-			}
-			id := rootIdent(st.Lhs[0])
-			if id == nil {
-				return true
-			}
-			obj := pass.TypesInfo.ObjectOf(id)
-			if obj == nil {
-				return true
-			}
-			if boundary.Pos() <= obj.Pos() && obj.Pos() <= boundary.End() {
-				return true // accumulator local to the context: order fixed
-			}
-			f := enclosingFile(pass, st.Pos())
-			if f == nil || isTestFile(pass.Fset, f) || dirs.allowed(st.Pos()) {
-				return true
-			}
-			pass.Reportf(st.Pos(),
-				"floating-point accumulation into %s inside %s sums in nondeterministic order (FP is non-associative); fold per shard and reduce in fixed order (or //ppalint:allow floatfold <reason>)",
-				id.Name, context)
-			return true
-		})
+	emit := func(pos token.Pos, msg string) {
+		f := enclosingFile(pass, pos)
+		if f == nil || isTestFile(pass.Fset, f) || dirs.allowed(pos) {
+			return
+		}
+		pass.Reportf(pos, "%s (or //ppalint:allow floatfold <reason>)", msg)
 	}
 
 	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
 		loop := n.(*ast.RangeStmt)
-		if tv, ok := pass.TypesInfo.Types[loop.X]; ok {
-			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-				check(loop.Body, loop, "map iteration")
-			}
+		if isMapRange(pass, loop) {
+			checkFloatFold(pass, loop.Body, loop, "map iteration", emit)
 		}
 	})
 
 	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
 		g := n.(*ast.GoStmt)
 		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
-			check(lit.Body, lit, "a goroutine")
+			checkFloatFold(pass, lit.Body, lit, "a goroutine", emit)
 		}
 	})
 
-	// Worker callbacks: func literals passed to the internal/par pool
-	// run concurrently across workers.
 	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
-		call := n.(*ast.CallExpr)
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return
-		}
-		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/par") {
-			return
-		}
-		for _, arg := range call.Args {
-			if lit, ok := arg.(*ast.FuncLit); ok {
-				check(lit.Body, lit, "a parallel worker callback")
-			}
-		}
+		forParCallback(pass, n, func(lit *ast.FuncLit) {
+			checkFloatFold(pass, lit.Body, lit, "a parallel worker callback", emit)
+		})
 	})
 	return nil, nil
+}
+
+// forParCallback calls fn for each func literal passed to the
+// internal/par pool in n (when n is such a call): worker callbacks
+// run concurrently across workers.
+func forParCallback(pass *analysis.Pass, n ast.Node, fn func(lit *ast.FuncLit)) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	callee, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || callee.Pkg() == nil || !strings.HasSuffix(callee.Pkg().Path(), "internal/par") {
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			fn(lit)
+		}
+	}
+}
+
+// checkFloatFold emits one finding per compound float assignment into
+// a variable declared outside boundary, anywhere under body. It is
+// the detection core shared by the floatfold analyzer and detclose's
+// taint-source scan.
+func checkFloatFold(pass *analysis.Pass, body ast.Node, boundary ast.Node, context string, emit func(pos token.Pos, msg string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[st.Tok] {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[st.Lhs[0]]
+		if !ok {
+			return true
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsFloat == 0 {
+			return true
+		}
+		id := rootIdent(st.Lhs[0])
+		if id == nil {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if boundary.Pos() <= obj.Pos() && obj.Pos() <= boundary.End() {
+			return true // accumulator local to the context: order fixed
+		}
+		emit(st.Pos(), sprintf(
+			"floating-point accumulation into %s inside %s sums in nondeterministic order (FP is non-associative); fold per shard and reduce in fixed order",
+			id.Name, context))
+		return true
+	})
+}
+
+// floatFoldContexts calls fn for every nondeterministic-order
+// accumulation context under root — map-range bodies, goroutine
+// closures and internal/par worker callbacks — mirroring the trigger
+// set of the floatfold analyzer for detclose's per-function scan.
+func floatFoldContexts(pass *analysis.Pass, root ast.Node, fn func(body ast.Node, boundary ast.Node, context string)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(pass, v) {
+				fn(v.Body, v, "map iteration")
+			}
+		case *ast.GoStmt:
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				fn(lit.Body, lit, "a goroutine")
+			}
+		case *ast.CallExpr:
+			forParCallback(pass, v, func(lit *ast.FuncLit) {
+				fn(lit.Body, lit, "a parallel worker callback")
+			})
+		}
+		return true
+	})
 }

@@ -12,6 +12,18 @@
 //	maporder     order-sensitive work inside map iteration
 //	floatfold    order-dependent floating-point accumulation
 //	pooledescape use of pooled values after their release
+//	detclose     interprocedural determinism closure over declared roots
+//	framecase    exhaustive switches over protocol frame kinds
+//	ctxspawn     goroutines must receive a context
+//	lockheld     no blocking channel op or I/O while holding a mutex
+//
+// The first four analyzers double as taint *sources* for detclose,
+// which propagates a per-function Deterministic/Tainted fact bottom-up
+// across packages through the vet driver's dependency-order loading
+// and verifies that the transitive call closure of the declared
+// determinism roots (campaign.Run/RunRange, the engine step path, the
+// sketch fold/merge/marshal path, the coordinator's merge/partition
+// half) reaches no tainted function. See detclose.go.
 //
 // A finding that is intentional is suppressed in place with a
 // directive comment, on the offending line or the line above:
@@ -24,9 +36,9 @@
 //
 //	//ppalint:deterministic
 //
-// comment (conventionally next to the package clause) — the
-// coordinator's merge/partition path uses this, since the rest of
-// internal/coord legitimately runs on wall-clock heartbeats.
+// comment (conventionally next to the package clause); detclose
+// reports such markers as redundant once the file is covered by the
+// root closure, which checks the same property interprocedurally.
 package lint
 
 import (
@@ -45,6 +57,10 @@ func Analyzers() []*analysis.Analyzer {
 		MapOrder,
 		FloatFold,
 		PooledEscape,
+		DetClose,
+		FrameCase,
+		CtxSpawn,
+		LockHeld,
 	}
 }
 
@@ -62,77 +78,165 @@ const (
 	mapOrderName     = "maporder"
 	floatFoldName    = "floatfold"
 	pooledEscapeName = "pooledescape"
+	detCloseName     = "detclose"
+	frameCaseName    = "framecase"
+	ctxSpawnName     = "ctxspawn"
+	lockHeldName     = "lockheld"
 )
 
-// allowDirective is one parsed //ppalint:allow comment.
+// allowDirective is one parsed //ppalint:allow comment with a reason.
 type allowDirective struct {
 	pos      token.Pos
+	file     string
+	line     int
 	analyzer string
-	reason   string
+	used     bool
 }
 
-// directives indexes one pass's ppalint comments for a single
-// analyzer: suppressions by (file, line) and the set of files marked
-// deterministic. Reasonless directives naming the analyzer are
-// reported during the scan — they suppress nothing.
+// marker is one file-level //ppalint:deterministic comment.
+type marker struct {
+	file *ast.File
+	pos  token.Pos
+}
+
+// directives indexes one pass's ppalint comments for a set of
+// analyzers: suppressions by (analyzer, file, line) and the file-level
+// deterministic markers. Reasonless directives naming an analyzer in
+// reportFor are reported during the scan — they suppress nothing.
 type directives struct {
 	fset          *token.FileSet
-	allow         map[string]map[int]bool // filename -> line -> suppressed
-	deterministic map[*ast.File]bool
+	allow         map[string]map[string]map[int]*allowDirective // analyzer -> filename -> line
+	deterministic map[*ast.File]token.Pos
 }
 
 // scanDirectives parses every comment of the pass once for the named
-// analyzer. It reports directives that name the analyzer but carry no
-// reason.
+// analyzer, reporting reasonless directives that name it.
 func scanDirectives(pass *analysis.Pass, analyzer string) *directives {
+	return scanDirectivesFor(pass, []string{analyzer}, []string{analyzer})
+}
+
+// scanDirectivesFor parses every comment of the pass for the named
+// analyzers. Reasonless directives are reported only for the names in
+// reportReasonless, so that an analyzer consuming another analyzer's
+// directives (detclose consumes the taint-source analyzers') does not
+// duplicate that analyzer's own report.
+func scanDirectivesFor(pass *analysis.Pass, analyzers, reportReasonless []string) *directives {
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a] = true
+	}
+	reasonless := make(map[string]bool, len(reportReasonless))
+	for _, a := range reportReasonless {
+		reasonless[a] = true
+	}
 	d := &directives{
 		fset:          pass.Fset,
-		allow:         make(map[string]map[int]bool),
-		deterministic: make(map[*ast.File]bool),
+		allow:         make(map[string]map[string]map[int]*allowDirective),
+		deterministic: make(map[*ast.File]token.Pos),
 	}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
 				if text == deterministicMarker || strings.HasPrefix(text, deterministicMarker+" ") {
-					d.deterministic[f] = true
+					d.deterministic[f] = c.Pos()
 					continue
 				}
 				if !strings.HasPrefix(text, allowPrefix) {
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
-				if len(fields) == 0 || fields[0] != analyzer {
+				if len(fields) == 0 || !names[fields[0]] {
 					continue // another analyzer's directive (or empty: ignored by all)
 				}
 				if len(fields) < 2 {
-					pass.Reportf(c.Pos(), "ppalint:allow %s needs a reason (\"//ppalint:allow %s <why this is safe>\")", analyzer, analyzer)
+					if reasonless[fields[0]] {
+						pass.Reportf(c.Pos(), "ppalint:allow %s needs a reason (\"//ppalint:allow %s <why this is safe>\")", fields[0], fields[0])
+					}
 					continue
 				}
 				pos := d.fset.Position(c.Pos())
-				lines := d.allow[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]bool)
-					d.allow[pos.Filename] = lines
+				files := d.allow[fields[0]]
+				if files == nil {
+					files = make(map[string]map[int]*allowDirective)
+					d.allow[fields[0]] = files
 				}
-				lines[pos.Line] = true
+				lines := files[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*allowDirective)
+					files[pos.Filename] = lines
+				}
+				lines[pos.Line] = &allowDirective{
+					pos: c.Pos(), file: pos.Filename, line: pos.Line, analyzer: fields[0],
+				}
 			}
 		}
 	}
 	return d
 }
 
-// allowed reports whether a finding at pos is suppressed by a
-// directive on the same line or the line immediately above.
-func (d *directives) allowed(pos token.Pos) bool {
+// allowedFor reports whether a finding of the named analyzer at pos is
+// suppressed by a directive on the same line or the line immediately
+// above, marking the directive used.
+func (d *directives) allowedFor(analyzer string, pos token.Pos) bool {
 	p := d.fset.Position(pos)
-	lines := d.allow[p.Filename]
-	return lines != nil && (lines[p.Line] || lines[p.Line-1])
+	lines := d.allow[analyzer][p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{p.Line, p.Line - 1} {
+		if dir := lines[l]; dir != nil {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// allowed is allowedFor over the single analyzer the directives were
+// scanned for — the common single-analyzer case.
+func (d *directives) allowed(pos token.Pos) bool {
+	for analyzer := range d.allow {
+		if d.allowedFor(analyzer, pos) {
+			return true
+		}
+	}
+	// No directive of any scanned analyzer covers pos.
+	return false
+}
+
+// unused returns the scanned directives never marked used, in file
+// then line order.
+func (d *directives) unused() []*allowDirective {
+	var out []*allowDirective
+	for _, files := range d.allow {
+		for _, lines := range files {
+			for _, dir := range lines {
+				if !dir.used {
+					//ppalint:allow maporder collection order is erased by sortDirectives below
+					out = append(out, dir)
+				}
+			}
+		}
+	}
+	sortDirectives(out)
+	return out
+}
+
+func sortDirectives(ds []*allowDirective) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && (ds[j].file < ds[j-1].file || (ds[j].file == ds[j-1].file && ds[j].line < ds[j-1].line)); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
 }
 
 // isDeterministicFile reports whether f carries the file-level
 // //ppalint:deterministic marker.
-func (d *directives) isDeterministicFile(f *ast.File) bool { return d.deterministic[f] }
+func (d *directives) isDeterministicFile(f *ast.File) bool {
+	_, ok := d.deterministic[f]
+	return ok
+}
 
 // isTestFile reports whether the file's name ends in _test.go.
 // Determinism invariants bind production code; tests draw wall-clock
@@ -146,6 +250,19 @@ func isTestFile(fset *token.FileSet, f *ast.File) bool {
 // deterministic package list works for any module path prefix.
 func pathMatches(pkgpath, pattern string) bool {
 	return pkgpath == pattern || strings.HasSuffix(pkgpath, "/"+pattern)
+}
+
+// pkgInPatterns reports whether pkgpath matches any pattern in the
+// comma-separated list — the shared scope gate of the path-scoped
+// analyzers (walltime's deterministic set, the coord-focused
+// framecase/ctxspawn/lockheld).
+func pkgInPatterns(pkgpath, patterns string) bool {
+	for _, p := range strings.Split(patterns, ",") {
+		if p = strings.TrimSpace(p); p != "" && pathMatches(pkgpath, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // enclosingFile returns the *ast.File of pos.

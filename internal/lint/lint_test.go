@@ -46,3 +46,56 @@ func TestFloatFold(t *testing.T) {
 func TestPooledEscape(t *testing.T) {
 	linttest.Run(t, fixture("pooledescape", "a"), "example.com/p", lint.PooledEscape)
 }
+
+// TestDetCloseCrossPackage: a wall-clock read two calls below a
+// declared root in a *different* package is reported at the root with
+// the full taint chain, proving the fact propagation across package
+// boundaries. Suppressed sources (dep.Seeded) do not propagate, and
+// stale suppressions are reported.
+func TestDetCloseCrossPackage(t *testing.T) {
+	linttest.SetFlag(t, lint.DetClose, "roots",
+		"fixture/rootpkg.Run,fixture/rootpkg.Run2,fixture/rootpkg.(*Agg).Merge,fixture/rootpkg.Sum")
+	linttest.RunPackages(t, lint.DetClose,
+		linttest.Pkg{Dir: fixture("detclose", "dep"), ImportPath: "repro/fixture/dep"},
+		linttest.Pkg{Dir: fixture("detclose", "rootpkg"), ImportPath: "repro/fixture/rootpkg"},
+	)
+}
+
+// TestDetCloseMarkers: //ppalint:deterministic file markers are
+// reported as redundant when the package is already in the
+// deterministic set or when the root closure covers every function in
+// the file.
+func TestDetCloseMarkers(t *testing.T) {
+	linttest.SetFlag(t, lint.DetClose, "roots", "fixture/marked.Root")
+	linttest.RunPackages(t, lint.DetClose,
+		linttest.Pkg{Dir: fixture("detclose", "marked"), ImportPath: "repro/fixture/marked"},
+		linttest.Pkg{Dir: fixture("detclose", "detset"), ImportPath: "repro/internal/plan"},
+	)
+}
+
+// TestDetCloseOutOfScope: packages outside the first-party prefix are
+// not analysed — a time.Now there produces no taint and no report.
+func TestDetCloseOutOfScope(t *testing.T) {
+	linttest.Run(t, fixture("detclose", "thirdparty"), "example.com/vendorpkg", lint.DetClose)
+}
+
+// TestFrameCase: switches over a frame-kind const group must cover
+// every member or carry a non-empty default; empty defaults and
+// missing members are reported, annotated partial dispatch is not.
+func TestFrameCase(t *testing.T) {
+	linttest.Run(t, fixture("framecase", "a"), "example.com/internal/coord", lint.FrameCase)
+}
+
+// TestCtxSpawn: goroutines in the coordination layer must pass or
+// capture a context.Context; bounded-by-other-means spawns carry an
+// allow directive.
+func TestCtxSpawn(t *testing.T) {
+	linttest.Run(t, fixture("ctxspawn", "a"), "example.com/internal/coord", lint.CtxSpawn)
+}
+
+// TestLockHeld: channel ops, defaultless selects and blocking I/O
+// while a mutex is held are reported; unlock-before-op, fresh
+// goroutines, Cond.Wait and annotated spans are not.
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, fixture("lockheld", "a"), "example.com/internal/coord", lint.LockHeld)
+}

@@ -71,27 +71,62 @@ func runMapOrder(pass *analysis.Pass) (interface{}, error) {
 
 	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
 		loop := n.(*ast.RangeStmt)
-		tv, ok := pass.TypesInfo.Types[loop.X]
-		if !ok {
-			return
-		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		if !isMapRange(pass, loop) {
 			return
 		}
 		f := enclosingFile(pass, loop.Pos())
 		if f == nil || isTestFile(pass.Fset, f) {
 			return
 		}
-		checkMapLoop(pass, dirs, loop, blockOf[loop])
+		checkMapLoop(pass, loop, blockOf[loop], func(pos token.Pos, msg string) {
+			if !dirs.allowed(pos) {
+				pass.Reportf(pos, "%s (or //ppalint:allow maporder <reason>)", msg)
+			}
+		})
 	})
 	return nil, nil
 }
 
-func checkMapLoop(pass *analysis.Pass, dirs *directives, loop *ast.RangeStmt, after []ast.Stmt) {
-	report := func(pos token.Pos, format string, args ...interface{}) {
-		if !dirs.allowed(pos) {
-			pass.Reportf(pos, format+" (or //ppalint:allow maporder <reason>)", args...)
+// isMapRange reports whether loop ranges over a map.
+func isMapRange(pass *analysis.Pass, loop *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[loop.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// mapRangeLoops calls fn for every range-over-map loop under root,
+// passing the statements that follow the loop in its enclosing block
+// (for the sort-after-loop exemption).
+func mapRangeLoops(pass *analysis.Pass, root ast.Node, fn func(loop *ast.RangeStmt, after []ast.Stmt)) {
+	blockOf := make(map[*ast.RangeStmt][]ast.Stmt)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			for i, st := range b.List {
+				if r, ok := st.(*ast.RangeStmt); ok {
+					blockOf[r] = b.List[i+1:]
+				}
+			}
 		}
+		return true
+	})
+	ast.Inspect(root, func(n ast.Node) bool {
+		if loop, ok := n.(*ast.RangeStmt); ok && isMapRange(pass, loop) {
+			fn(loop, blockOf[loop])
+		}
+		return true
+	})
+}
+
+// checkMapLoop emits one finding per order-sensitive operation in the
+// body of a range-over-map loop. It is the detection core shared by
+// the maporder analyzer and detclose's taint-source scan; emit
+// receives the position and the bare message (no suppression hint).
+func checkMapLoop(pass *analysis.Pass, loop *ast.RangeStmt, after []ast.Stmt, emit func(pos token.Pos, msg string)) {
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		emit(pos, sprintf(format, args...))
 	}
 	outside := func(e ast.Expr) (*ast.Ident, bool) {
 		id := rootIdent(e)

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfLint builds the ppalint vet tool and runs the full suite —
+// detclose root-closure verification included — over this repository.
+// The tree must be clean: every intentional exception is annotated in
+// place, so any new finding is a regression. This is the test that
+// keeps the declared determinism roots actually deterministic.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vet tool and re-vets the tree; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "ppalint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ppalint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ppalint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("ppalint is not clean on ./...: %v\n%s", err, out)
+	}
+}

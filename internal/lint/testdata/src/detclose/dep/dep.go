@@ -1,0 +1,31 @@
+// Package dep is the lower package of the cross-package taint
+// fixture: the wall-clock read sits two calls below the root declared
+// in the rootpkg fixture, so the taint must travel through exported
+// facts to be seen.
+package dep
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Step is one hop above the taint source.
+func Step(n int) int {
+	return n + stamp()
+}
+
+// stamp is the direct taint source.
+func stamp() int {
+	return int(time.Now().UnixNano())
+}
+
+// Seeded draws from the global source, but the draw is excused with a
+// reason; the suppression asserts determinism, so callers stay clean.
+func Seeded() int {
+	return int(rand.Int63()) //ppalint:allow globalrand fixture pretends this draw is replayable
+}
+
+// Pure is taint-free.
+func Pure(n int) int {
+	return n * 2
+}

@@ -1,0 +1,5 @@
+//ppalint:deterministic // want "redundant: package repro/internal/plan is already in the deterministic package set"
+package plan
+
+// Noop exists so the file has a declaration.
+func Noop() {}

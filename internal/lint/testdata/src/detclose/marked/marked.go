@@ -1,0 +1,13 @@
+//ppalint:deterministic // want "redundant: every function in this file is in the call closure of the declared detclose roots"
+package marked
+
+// Root is declared as a detclose root in the test; helper is in its
+// local closure, so the file marker adds nothing the closure check
+// does not already enforce.
+func Root(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	return n + 1
+}

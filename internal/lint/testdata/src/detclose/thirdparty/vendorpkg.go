@@ -1,0 +1,10 @@
+// Package vendorpkg is outside the first-party prefix: detclose must
+// compute no taint here, so the blatant wall-clock read below goes
+// unreported.
+package vendorpkg
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -58,14 +57,7 @@ func init() {
 
 func runWallTime(pass *analysis.Pass) (interface{}, error) {
 	dirs := scanDirectives(pass, wallTimeName)
-	patterns := strings.Split(pass.Analyzer.Flags.Lookup("packages").Value.String(), ",")
-	pkgInScope := false
-	for _, p := range patterns {
-		if p = strings.TrimSpace(p); p != "" && pathMatches(pass.Pkg.Path(), p) {
-			pkgInScope = true
-			break
-		}
-	}
+	pkgInScope := pkgInPatterns(pass.Pkg.Path(), pass.Analyzer.Flags.Lookup("packages").Value.String())
 
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	nodeFilter := []ast.Node{(*ast.SelectorExpr)(nil)}
