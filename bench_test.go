@@ -8,14 +8,17 @@ package repro
 // cmd/ppabench.
 
 import (
+	"math"
 	"runtime"
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/plan"
 	"repro/internal/randtopo"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -469,4 +472,172 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N*len(scs))/secs, "scenarios/s")
 	}
+}
+
+// BenchmarkTiltedCascadeCampaign measures the importance-sampled
+// rare-cascade campaign: a weakly correlated cascade model whose
+// multi-rack bursts are rare under plain Monte-Carlo, sampled at a
+// tilted join probability with per-scenario likelihood-ratio weights.
+// Alongside raw scenarios/s it reports effective_samples/s — the
+// effective sample size of the loss estimate per wall-clock second —
+// the statistical throughput the tilt buys. benchjson -check gates
+// effective_samples/s >= scenarios/s: the tilt must not increase
+// variance.
+func BenchmarkTiltedCascadeCampaign(b *testing.B) {
+	// Checkpoint-only recovery over two-rack zones, with a long cascade
+	// lag and a horizon that lets every single-rack burst recover
+	// completely: the output loss is then a genuine rare event — zero
+	// unless the cascade spreads — which is the regime importance
+	// sampling is built for. Under this tilt the campaign's ESS is
+	// several times its scenario count.
+	topo, err := campaign.PresetTopology(campaign.TopoMedium, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := campaign.NewEnv(campaign.EnvSpec{
+		Topo:      topo,
+		Tentative: true,
+		Layout:    cluster.Layout{Zones: 4, RacksPerZone: 2},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample, err := env.Cluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scs, err := campaign.Generate(sample, campaign.GenSpec{
+		Seed:        7,
+		Scenarios:   48,
+		Model:       campaign.Cascade,
+		Correlation: 0.05,
+		CascadeLag:  campaign.Ptr(sim.Time(12)),
+		CRN:         true,
+		Tilt:        5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := 0
+	var ess float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(campaign.Config{
+			Setup:     env.Setup,
+			Scenarios: scs,
+			Horizon:   70,
+			Baseline:  baseline,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline = rep.BaselineSinkTuples
+		ess = rep.Summary.ESS
+	}
+	b.StopTimer()
+	b.ReportMetric(ess, "effective_samples")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(scs))/secs, "scenarios/s")
+		b.ReportMetric(ess*float64(b.N)/secs, "effective_samples/s")
+	}
+}
+
+// BenchmarkPairedSweep quantifies the common-random-numbers win on a
+// placement head-to-head at equal simulation budget: the 95% CI
+// half-width of the mean output-loss delta between anti-affinity and
+// round-robin placement, estimated (a) paired on CRN scenarios and
+// (b) from two independent campaigns. Reported as paired_ci_w,
+// indep_ci_w and ci_width_ratio (indep/paired); benchjson -check gates
+// the ratio at >= 2, i.e. CRN pairing reaches a target half-width with
+// at least 4x fewer scenarios.
+func BenchmarkPairedSweep(b *testing.B) {
+	env := hotPathEnv(b)
+	sample, err := env.Cluster()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 24
+	gen := func(seed int64) []campaign.Scenario {
+		scs, err := campaign.Generate(sample, campaign.GenSpec{
+			Seed:        seed,
+			Scenarios:   n,
+			Model:       campaign.KOfRack,
+			Correlation: campaign.DefaultCorrelation,
+			CRN:         true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return scs
+	}
+	runCell := func(scs []campaign.Scenario, placement cluster.PlacementPolicy, baseline int, obs func(campaign.ScenarioResult)) int {
+		rep, err := campaign.Run(campaign.Config{
+			Setup:     env.SetupFor(placement),
+			Scenarios: scs,
+			Horizon:   90,
+			Baseline:  baseline,
+			OnResult:  obs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep.BaselineSinkTuples
+	}
+	shared := gen(7)
+	indepA, indepB := gen(101), gen(202)
+	var pairedW, indepW float64
+	baseline := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Paired: both cells replay the same CRN draws.
+		pair := campaign.NewPaired(n)
+		baseline = runCell(shared, cluster.PlacementAntiAffinity, baseline, func(r campaign.ScenarioResult) {
+			pair.ObserveBase(r.Scenario.Index, r.OutputLoss)
+		})
+		baseline = runCell(shared, cluster.PlacementRoundRobin, baseline, func(r campaign.ScenarioResult) {
+			pair.ObserveOther(r.Scenario.Index, r.OutputLoss)
+		})
+		pairedW = pair.Summary().MeanCI
+		// Independent: same budget, distinct seeds per cell.
+		var lossA, lossB []float64
+		baseline = runCell(indepA, cluster.PlacementAntiAffinity, baseline, func(r campaign.ScenarioResult) {
+			lossA = append(lossA, r.OutputLoss)
+		})
+		baseline = runCell(indepB, cluster.PlacementRoundRobin, baseline, func(r campaign.ScenarioResult) {
+			lossB = append(lossB, r.OutputLoss)
+		})
+		indepW = unpairedDeltaCI(lossA, lossB)
+	}
+	b.StopTimer()
+	b.ReportMetric(pairedW, "paired_ci_w")
+	b.ReportMetric(indepW, "indep_ci_w")
+	if pairedW > 0 {
+		b.ReportMetric(indepW/pairedW, "ci_width_ratio")
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*4*n)/secs, "scenarios/s")
+	}
+}
+
+// unpairedDeltaCI is the 95% CI half-width of mean(b) - mean(a) for
+// two independent samples (Welch, z-approximation).
+func unpairedDeltaCI(a, b []float64) float64 {
+	varOf := func(xs []float64) float64 {
+		if len(xs) < 2 {
+			return 0
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return ss / float64(len(xs)-1)
+	}
+	se := math.Sqrt(varOf(a)/float64(len(a)) + varOf(b)/float64(len(b)))
+	return 1.9599639845400545 * se
 }

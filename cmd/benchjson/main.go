@@ -14,6 +14,10 @@
 // peak-memory guard of the streaming campaign aggregation) is gated
 // the same way, with 1 MiB of absolute slack on top of the relative
 // limit so tiny GC-timing deltas on near-zero baselines don't flap.
+// A baseline entry with an effective_samples/s metric additionally
+// asserts effective_samples/s >= scenarios/s on the current run: the
+// importance-sampled campaign benchmarks must deliver at least the
+// statistical throughput of plain Monte-Carlo.
 //
 // Usage:
 //
@@ -110,6 +114,40 @@ func gate(records []Record, baselinePath string, maxRegress float64) error {
 			}
 			fmt.Fprintf(os.Stderr, "benchjson: %s bytes_retained %.0f within limit %.0f (baseline %.0f)\n",
 				b.Name, got, limit, base)
+		}
+		// A baseline entry carrying both throughput metrics asserts the
+		// importance-sampling invariant: the effective-sample rate must
+		// not fall below the raw scenario rate — a tilted campaign whose
+		// ESS/s dropped under scenarios/s is burning simulation time on a
+		// variance-increasing tilt. Gated against the current run's own
+		// two metrics (both share the run's wall clock, so the comparison
+		// is machine-independent); the tiny slack absorbs float noise.
+		if _, gated := b.Metrics["effective_samples/s"]; gated {
+			essRate, scRate := r.Metrics["effective_samples/s"], r.Metrics["scenarios/s"]
+			if scRate > 0 {
+				checked++
+				if essRate < scRate*0.999 {
+					return fmt.Errorf("%s effective_samples/s %.1f fell below scenarios/s %.1f: the tilt is increasing variance",
+						b.Name, essRate, scRate)
+				}
+				fmt.Fprintf(os.Stderr, "benchjson: %s effective_samples/s %.1f >= scenarios/s %.1f\n",
+					b.Name, essRate, scRate)
+			}
+		}
+		// A baseline entry with a ci_width_ratio metric asserts the
+		// common-random-numbers invariant: the paired delta CI must stay
+		// at most half the width of the independent-campaigns CI (i.e.
+		// CRN pairing reaches a target half-width with >= 4x fewer
+		// scenarios). The campaigns are seeded and deterministic, so the
+		// ratio is stable enough to gate well above the floor.
+		if _, gated := b.Metrics["ci_width_ratio"]; gated {
+			checked++
+			got := r.Metrics["ci_width_ratio"]
+			if got < 2 {
+				return fmt.Errorf("%s ci_width_ratio %.2f below 2: CRN pairing lost its variance advantage",
+					b.Name, got)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s ci_width_ratio %.2f >= 2\n", b.Name, got)
 		}
 	}
 	if checked == 0 {

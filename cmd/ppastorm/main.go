@@ -76,12 +76,19 @@ import (
 
 // row is one aggregated sweep cell.
 type row struct {
-	Topology    string        `json:"topology"`
-	Planner     string        `json:"planner"`
-	Placement   string        `json:"placement"`
-	Model       string        `json:"model"`
-	Scenarios   int           `json:"scenarios"`
-	Unrecovered int           `json:"unrecovered"`
+	Topology    string `json:"topology"`
+	Planner     string `json:"planner"`
+	Placement   string `json:"placement"`
+	Model       string `json:"model"`
+	Scenarios   int    `json:"scenarios"`
+	Unrecovered int    `json:"unrecovered"`
+	// ESS is the effective sample size of the cell's loss estimate
+	// (campaign.Summary.ESS): equal to Scenarios for plain Monte-Carlo,
+	// above it under a well-tilted importance sampler.
+	ESS float64 `json:"effective_samples"`
+	// StopReason is "early-stop" when the cell halted under -ci-tol,
+	// "exhausted" when it ran its full scenario list.
+	StopReason  string        `json:"stop_reason"`
 	Latency     campaign.Dist `json:"latency_s"`
 	Loss        campaign.Dist `json:"output_loss"`
 	FailedTasks campaign.Dist `json:"failed_tasks"`
@@ -231,9 +238,106 @@ func (p *progressMeter) print() {
 	fmt.Fprintf(os.Stderr, "\r%s: %d/%d scenarios (%.0f/s)", p.label, p.n, p.total, rate)
 }
 
-func (p *progressMeter) done() {
+// done paints the final progress line, annotated with the cell's
+// effective sample size and how it ended (early-stop under -ci-tol vs
+// exhausting its scenario list).
+func (p *progressMeter) done(ess float64, reason string) {
 	p.print()
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintf(os.Stderr, " ess=%.0f %s\n", ess, reason)
+}
+
+// stopReason names how a campaign cell ended: halted by the CI-driven
+// stop rule, or ran its full scenario list.
+func stopReason(rep *campaign.Report) string {
+	if rep.Stopped {
+		return "early-stop"
+	}
+	return "exhausted"
+}
+
+// pairedKey identifies one head-to-head comparison; the placement axis
+// is the pair itself.
+type pairedKey struct{ topo, planner, model string }
+
+// pairedCell pairs one metric stream per axis: per-scenario output
+// loss and worst-task recovery latency.
+type pairedCell struct {
+	loss, lat *campaign.Paired
+}
+
+// pairedSet accumulates the CRN placement head-to-head: anti-affinity
+// is the base cell, round-robin the other, paired by scenario index.
+// Only meaningful under -crn (both cells replay identical draws).
+type pairedSet struct {
+	enabled bool
+	cells   map[pairedKey]*pairedCell
+	order   []pairedKey
+}
+
+func newPairedSet(enabled bool) *pairedSet {
+	return &pairedSet{enabled: enabled, cells: map[pairedKey]*pairedCell{}}
+}
+
+// observer returns the per-result callback feeding one sweep cell into
+// its pair, or nil when pairing is off or the placement is not part of
+// the anti-affinity/round-robin comparison.
+func (ps *pairedSet) observer(topo, planner, placement, model string, n int) func(campaign.ScenarioResult) {
+	if !ps.enabled {
+		return nil
+	}
+	var base bool
+	switch placement {
+	case "anti-affinity":
+		base = true
+	case "round-robin":
+		base = false
+	default:
+		return nil
+	}
+	k := pairedKey{topo, planner, model}
+	c := ps.cells[k]
+	if c == nil {
+		c = &pairedCell{loss: campaign.NewPaired(n), lat: campaign.NewPaired(n)}
+		ps.cells[k] = c
+		ps.order = append(ps.order, k)
+	}
+	if base {
+		return func(r campaign.ScenarioResult) {
+			c.loss.ObserveBase(r.Scenario.Index, r.OutputLoss)
+			c.lat.ObserveBase(r.Scenario.Index, float64(r.WorstLatency))
+		}
+	}
+	return func(r campaign.ScenarioResult) {
+		c.loss.ObserveOther(r.Scenario.Index, r.OutputLoss)
+		c.lat.ObserveOther(r.Scenario.Index, float64(r.WorstLatency))
+	}
+}
+
+// writeTo appends the paired-difference table: per (topo, planner,
+// model), the per-scenario delta (round-robin − anti-affinity) of the
+// output loss (p95 with order-statistic CI, mean with paired-t CI) and
+// the recovery latency (mean with paired-t CI). Because the deltas are
+// paired on common random numbers, these intervals are far narrower
+// than differencing two independent cells' summaries.
+func (ps *pairedSet) writeTo(w io.Writer) {
+	printed := false
+	for _, k := range ps.order {
+		c := ps.cells[k]
+		ls, lt := c.loss.Summary(), c.lat.Summary()
+		if ls.N == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Fprintf(w, "\nCRN-paired deltas (round-robin − anti-affinity, 95%% CIs):\n")
+			fmt.Fprintf(w, "  %-8s %-14s %-10s %6s | %8s %9s | %8s %9s | %8s %9s\n",
+				"topo", "planner", "model", "pairs",
+				"dp95loss", "±ci", "dloss", "±ci", "dlat_s", "±ci")
+			printed = true
+		}
+		fmt.Fprintf(w, "  %-8s %-14s %-10s %6d | %8.4f %9.4f | %8.4f %9.4f | %8.3f %9.3f\n",
+			k.topo, k.planner, k.model, ls.N,
+			ls.DeltaP95, ls.DeltaP95CI, ls.MeanDelta, ls.MeanCI, lt.MeanDelta, lt.MeanCI)
+	}
 }
 
 func main() {
@@ -248,6 +352,9 @@ func main() {
 		scenarios   = flag.Int("scenarios", 1000, "scenarios per sweep cell")
 		seed        = flag.Int64("seed", 1, "campaign seed (scenario randomness)")
 		correlation = flag.Float64("correlation", 0.5, "correlation strength in [0,1]")
+		crn         = flag.Bool("crn", false, "generate scenarios from common-random-number substreams: every sweep cell replays bit-identical failure draws, enabling the paired head-to-head delta table")
+		tilt        = flag.Float64("tilt", 0, "importance-sample rare cascades at tilted join probability 1-(1-p)^tilt (0 disables, otherwise >= 1); summaries are reweighted to the nominal correlation and report effective samples")
+		ciTol       = flag.Float64("ci-tol", 0, "stop a cell early once the 95% CI half-width of its p95 output loss is at most this (0 disables)")
 		failAt      = flag.Float64("fail-at", 30.5, "base failure-injection time (virtual s)")
 		horizon     = flag.Float64("horizon", 150, "simulation horizon per scenario (virtual s)")
 		workers     = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential")
@@ -382,6 +489,12 @@ func main() {
 	}
 
 	var rows []row
+	// Paired CRN head-to-head: with -crn and both placement policies in
+	// the sweep, per-scenario metrics of the anti-affinity (base) and
+	// round-robin (other) cells are paired by scenario index, since CRN
+	// makes both cells replay identical failure draws. Single-process
+	// only — pairing needs the per-scenario stream.
+	pairs := newPairedSet(*crn && pool == nil)
 	// The failure-free baseline depends only on (topology, planner,
 	// horizon) — not on placement or burst model — so one cached
 	// baseline simulation serves every cell of a (topo, planner) sweep.
@@ -433,6 +546,8 @@ func main() {
 						Model:       model,
 						FailAt:      campaign.Ptr(sim.Time(*failAt)),
 						Correlation: *correlation,
+						CRN:         *crn,
+						Tilt:        *tilt,
 					}
 					var rep *campaign.Report
 					start := time.Now()
@@ -451,6 +566,7 @@ func main() {
 						wire.Workers = *workers
 						wire.Shards = *shards
 						wire.Baseline = distBaselines[baseKey]
+						wire.StopTol = *ciTol
 						rep, err = pool.RunJob(context.Background(), wire)
 						if err != nil {
 							fatal(err)
@@ -476,8 +592,10 @@ func main() {
 							Shards:      *shards,
 							Baselines:   baselines,
 							BaselineKey: baseKey,
+							StopTol:     *ciTol,
 						}
-						if sink != nil || meter != nil {
+						pairObs := pairs.observer(cellTopo, cellPlanner, cellPlacement, cellModel, len(scs))
+						if sink != nil || meter != nil || pairObs != nil {
 							cfg.OnResult = func(r campaign.ScenarioResult) {
 								if sink != nil {
 									sink.write(&scenarioRow{
@@ -497,17 +615,20 @@ func main() {
 										Corrections:   len(r.CorrectionDelays),
 									})
 								}
+								if pairObs != nil {
+									pairObs(r)
+								}
 								if meter != nil {
 									meter.tick()
 								}
 							}
 						}
 						rep, err = campaign.Run(cfg)
-						if meter != nil {
-							meter.done()
-						}
 						if err != nil {
 							fatal(err)
+						}
+						if meter != nil {
+							meter.done(rep.Summary.ESS, stopReason(rep))
 						}
 						if sink != nil {
 							if err := sink.err(); err != nil {
@@ -522,6 +643,8 @@ func main() {
 						Model:            model.String(),
 						Scenarios:        rep.Summary.Scenarios,
 						Unrecovered:      rep.Summary.Unrecovered,
+						ESS:              rep.Summary.ESS,
+						StopReason:       stopReason(rep),
 						Latency:          rep.Summary.Latency,
 						Loss:             rep.Summary.Loss,
 						FailedTasks:      rep.Summary.FailedTasks,
@@ -555,6 +678,7 @@ func main() {
 		}
 	case "table":
 		writeTable(w, rows)
+		pairs.writeTo(w)
 	default:
 		fatal(fmt.Errorf("unknown format %q (table, json, csv)", *format))
 	}
@@ -577,6 +701,7 @@ func splitList(s string) []string {
 
 var csvHeader = []string{
 	"topology", "planner", "placement", "model", "scenarios", "unrecovered",
+	"effective_samples", "stop_reason",
 	"latency_mean_s", "latency_p50_s", "latency_p95_s", "latency_p99_s", "latency_max_s",
 	"loss_mean", "loss_p95", "failed_tasks_mean", "failed_tasks_max",
 	"tentative_frac_mean", "corrected_frac_mean", "t2c_p50_s", "t2c_p95_s",
@@ -593,6 +718,7 @@ func writeCSV(w io.Writer, rows []row) error {
 		rec := []string{
 			r.Topology, r.Planner, r.Placement, r.Model,
 			strconv.Itoa(r.Scenarios), strconv.Itoa(r.Unrecovered),
+			f(r.ESS), r.StopReason,
 			f(r.Latency.Mean), f(r.Latency.P50), f(r.Latency.P95), f(r.Latency.P99), f(r.Latency.Max),
 			f(r.Loss.Mean), f(r.Loss.P95), f(r.FailedTasks.Mean), f(r.FailedTasks.Max),
 			f(r.Tentative.Mean), f(r.Corrected.Mean), f(r.TimeToCorrection.P50), f(r.TimeToCorrection.P95),
@@ -607,13 +733,13 @@ func writeCSV(w io.Writer, rows []row) error {
 }
 
 func writeTable(w io.Writer, rows []row) {
-	fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6s %6s | %8s %8s %8s %8s | %8s %8s %6s | %6s %6s %7s\n",
-		"topo", "planner", "placement", "model", "scen", "unrec",
+	fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6s %6s %8s %-10s | %8s %8s %8s %8s | %8s %8s %6s | %6s %6s %7s\n",
+		"topo", "planner", "placement", "model", "scen", "unrec", "ess", "stop",
 		"mean_s", "p50_s", "p95_s", "p99_s", "loss", "loss_p95", "tasks",
 		"tent", "corr", "t2c_p95")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6d %6d | %8.2f %8.2f %8.2f %8.2f | %8.4f %8.4f %6.1f | %6.4f %6.4f %7.2f\n",
-			r.Topology, r.Planner, r.Placement, r.Model, r.Scenarios, r.Unrecovered,
+		fmt.Fprintf(w, "%-8s %-14s %-13s %-10s %6d %6d %8.0f %-10s | %8.2f %8.2f %8.2f %8.2f | %8.4f %8.4f %6.1f | %6.4f %6.4f %7.2f\n",
+			r.Topology, r.Planner, r.Placement, r.Model, r.Scenarios, r.Unrecovered, r.ESS, r.StopReason,
 			r.Latency.Mean, r.Latency.P50, r.Latency.P95, r.Latency.P99,
 			r.Loss.Mean, r.Loss.P95, r.FailedTasks.Mean,
 			r.Tentative.Mean, r.Corrected.Mean, r.TimeToCorrection.P95)

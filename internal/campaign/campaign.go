@@ -88,6 +88,17 @@ type Config struct {
 	// closures over shared mutable state). The determinism test pins
 	// that both paths produce bit-identical reports.
 	DisableReuse bool
+	// StopTol > 0 enables CI-driven early stopping: the campaign halts
+	// once the 95% confidence half-width of its p95 output-loss
+	// estimate falls to StopTol or below. The rule is checked only at
+	// shard-block boundaries over the merged prefix of completed
+	// shards (see StopMonitor), so the decision is deterministic and a
+	// distributed run stops at exactly the same scenario as a
+	// single-process one. A stopped Report sets Stopped and its
+	// Summary covers the executed prefix only. Scenario-level
+	// execution (RunRangeContext) ignores the field — a worker sees
+	// only its own range; stop decisions belong to whoever merges.
+	StopTol float64
 }
 
 // BaselineCache memoizes failure-free baseline sink volumes per
@@ -196,6 +207,14 @@ func NewDist(xs []float64) Dist {
 type Summary struct {
 	Scenarios   int `json:"scenarios"`
 	Unrecovered int `json:"unrecovered"`
+	// ESS is the effective sample size of the loss estimate: exactly
+	// Scenarios for an unweighted campaign, and the variance-ratio
+	// effective count for an importance-sampled one — the number of
+	// plain Monte-Carlo scenarios that would estimate the mean loss
+	// equally well. A well-tilted rare-event campaign reports
+	// ESS > Scenarios; that surplus is the statistical speedup the
+	// effective_samples_per_s benchmark metric measures.
+	ESS float64 `json:"effective_samples"`
 	// Latency summarises the worst-task recovery latency (seconds) of
 	// the scenarios that fully recovered.
 	Latency Dist `json:"latency_s"`
@@ -225,6 +244,11 @@ type Report struct {
 	// BaselineSinkTuples is the failure-free output volume the loss
 	// metric is measured against.
 	BaselineSinkTuples int
+	// Stopped reports that the campaign halted early under
+	// Config.StopTol: the Summary covers the executed shard prefix,
+	// not the full scenario list. False on an exhausted run (even one
+	// whose final CI would have satisfied the tolerance).
+	Stopped bool
 }
 
 // ConfigError reports one invalid Config field from Validate: which
@@ -255,6 +279,8 @@ func (cfg Config) Validate() error {
 		return &ConfigError{"Baseline", fmt.Sprintf("negative baseline volume %d", cfg.Baseline)}
 	case cfg.BaselineKey != "" && cfg.Baselines == nil:
 		return &ConfigError{"BaselineKey", "set without a Baselines cache"}
+	case cfg.StopTol < 0:
+		return &ConfigError{"StopTol", fmt.Sprintf("negative stop tolerance %v", cfg.StopTol)}
 	}
 	return nil
 }
@@ -351,6 +377,9 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.StopTol > 0 {
+		return runStopping(ctx, cfg, pool, base)
+	}
 	aggs, results, err := runShards(ctx, cfg, Range{0, len(cfg.Scenarios)}, pool, base)
 	if err != nil {
 		return nil, err
@@ -363,6 +392,56 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 		Results:            results,
 		Summary:            agg.summary(),
 		BaselineSinkTuples: base,
+	}, nil
+}
+
+// runStopping is RunContext's early-stopping path: the shard blocks
+// run one at a time (the worker pool still parallelises within each
+// block), and after every block the serialised shard state feeds the
+// StopMonitor — the exact bytes a distributed coordinator would
+// observe, so both fire at the same checkpoint. On fire the remaining
+// blocks are never started and the summary merges the executed prefix
+// only. cfg must be resolved and carry StopTol > 0.
+func runStopping(ctx context.Context, cfg Config, pool chan *engine.Engine, base int) (*Report, error) {
+	n := len(cfg.Scenarios)
+	block := blockSize(n, cfg.Shards)
+	mon := NewStopMonitor(cfg)
+	var (
+		merged  *aggregator
+		results []ScenarioResult
+		stopped bool
+	)
+	for lo := 0; lo < n && !stopped; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		aggs, res, err := runShards(ctx, cfg, Range{lo, hi}, pool, base)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.KeepResults {
+			results = append(results, res...)
+		}
+		st, err := aggs[0].state(lo / block)
+		if err != nil {
+			return nil, err
+		}
+		if err := mon.Observe(st); err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = aggs[0]
+		} else {
+			merged.merge(aggs[0])
+		}
+		stopped = mon.Fired()
+	}
+	return &Report{
+		Results:            results,
+		Summary:            merged.summary(),
+		BaselineSinkTuples: base,
+		Stopped:            stopped,
 	}, nil
 }
 

@@ -12,6 +12,7 @@ package campaign
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -88,6 +89,13 @@ type Scenario struct {
 	Model Model
 	Label string
 	Waves []Wave
+	// Weight is the scenario's importance-sampling likelihood ratio:
+	// the probability of its burst-join draws under the nominal
+	// correlation divided by the probability under the tilted sampler
+	// (GenSpec.Tilt). Untilted generation sets 1; a zero value (e.g. a
+	// hand-built Scenario literal) is treated as 1 everywhere, so
+	// existing callers are unaffected.
+	Weight float64
 }
 
 // GenSpec controls scenario generation. The zero value is not valid;
@@ -122,6 +130,25 @@ type GenSpec struct {
 	// selects the default 2s, Ptr(sim.Time(0)) makes the waves
 	// simultaneous.
 	CascadeLag *sim.Time
+	// CRN switches scenario i's draws to a counter-based splitmix64
+	// substream keyed by (Seed, i) — common random numbers. Unlike the
+	// default math/rand path, the substream derivation is documented
+	// and stable across Go releases, and every campaign cell sharing a
+	// seed replays bit-identical failure draws, which is what makes
+	// paired head-to-head deltas low-variance. Off by default so
+	// existing seeds keep generating the exact scenarios they always
+	// have.
+	CRN bool
+	// Tilt >= 1 turns on importance sampling of rare correlated bursts:
+	// each burst-join draw (KOfRack node joins, Cascade sibling rack
+	// joins) is taken at the tilted probability q = 1-(1-p)^Tilt
+	// instead of the nominal p = Correlation, over-drawing multi-node
+	// and multi-rack cascades, and the scenario's Weight records the
+	// likelihood ratio so reweighted summaries estimate the nominal
+	// distribution. 0 (or 1) disables tilting; values in (0, 1) are
+	// rejected. Models without join draws (SingleNode, WholeDomain) are
+	// unaffected.
+	Tilt float64
 }
 
 // Ptr returns a pointer to v — shorthand for GenSpec's explicit
@@ -150,6 +177,59 @@ func (s GenSpec) resolve() genParams {
 	return p
 }
 
+// burstRNG is the draw interface of scenario generation, satisfied by
+// both the default *rand.Rand and the CRN splitStream. Generate calls
+// it in a fixed order per scenario, so either source yields a
+// reproducible scenario from (Seed, index) alone.
+type burstRNG interface {
+	Float64() float64
+	Intn(n int) int
+	Perm(n int) []int
+}
+
+// stream returns scenario i's random source: the historical math/rand
+// stream by default (existing seeds keep their scenarios), or the
+// counter-based CRN substream.
+func (s GenSpec) stream(i int) burstRNG {
+	if s.CRN {
+		return newSplitStream(s.Seed, i)
+	}
+	return rand.New(rand.NewSource(s.Seed + int64(i)*1_000_003))
+}
+
+// joiner draws the burst-join Bernoullis of one scenario, tilted to
+// probability q = 1-(1-p)^tilt, and accumulates the likelihood ratio
+// of the draws it made: p/q per join, (1-p)/(1-q) per non-join. With
+// tilt off (0 or 1) q equals p and the weight stays exactly 1.
+type joiner struct {
+	rng  burstRNG
+	p, q float64
+	w    float64
+}
+
+func newJoiner(rng burstRNG, p, tilt float64) *joiner {
+	q := p
+	if tilt > 1 {
+		q = 1 - math.Pow(1-p, tilt)
+	}
+	return &joiner{rng: rng, p: p, q: q, w: 1}
+}
+
+// join draws one tilted Bernoulli and folds its likelihood ratio into
+// the running weight. Degenerate probabilities (0 or 1) tilt to
+// themselves, so their factor is exactly 1.
+func (j *joiner) join() bool {
+	joined := j.rng.Float64() < j.q
+	if j.q > 0 && j.q < 1 {
+		if joined {
+			j.w *= j.p / j.q
+		} else {
+			j.w *= (1 - j.p) / (1 - j.q)
+		}
+	}
+	return joined
+}
+
 // Generate draws spec.Scenarios scenarios against the cluster's
 // failure-domain tree. The cluster is only inspected, never mutated;
 // node IDs refer to any identically laid-out cluster, so the campaign
@@ -163,6 +243,9 @@ func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
 	}
 	if spec.Correlation < 0 || spec.Correlation > 1 {
 		return nil, fmt.Errorf("campaign: correlation %v out of [0,1]", spec.Correlation)
+	}
+	if spec.Tilt < 0 || (spec.Tilt > 0 && spec.Tilt < 1) {
+		return nil, fmt.Errorf("campaign: tilt %v invalid (want 0 to disable, or >= 1)", spec.Tilt)
 	}
 	proc := c.ProcessingNodes()
 	if len(proc) == 0 {
@@ -182,10 +265,11 @@ func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
 
 	out := make([]Scenario, spec.Scenarios)
 	for i := range out {
-		// Per-scenario RNG: scenario i is a pure function of Seed+i.
-		rng := rand.New(rand.NewSource(spec.Seed + int64(i)*1_000_003))
+		// Per-scenario RNG: scenario i is a pure function of (Seed, i) —
+		// the historical math/rand stream, or the CRN substream.
+		rng := spec.stream(i)
 		at := params.failAt + sim.Time(rng.Float64()*params.jitterS)
-		sc := Scenario{Index: i, Model: spec.Model}
+		sc := Scenario{Index: i, Model: spec.Model, Weight: 1}
 		switch spec.Model {
 		case SingleNode:
 			n := proc[rng.Intn(len(proc))].ID
@@ -194,11 +278,13 @@ func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
 		case KOfRack:
 			rack, nodes := pickRack(c, racks, rng)
 			burst := []cluster.NodeID{nodes[rng.Intn(len(nodes))]}
+			jn := newJoiner(rng, spec.Correlation, spec.Tilt)
 			for _, n := range nodes {
-				if n != burst[0] && rng.Float64() < spec.Correlation {
+				if n != burst[0] && jn.join() {
 					burst = append(burst, n)
 				}
 			}
+			sc.Weight = jn.w
 			sortNodes(burst)
 			sc.Label = fmt.Sprintf("rack-%d/k=%d", rack, len(burst))
 			sc.Waves = []Wave{{At: at, Nodes: burst}}
@@ -207,7 +293,9 @@ func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
 			sc.Label = fmt.Sprintf("rack-%d/all", rack)
 			sc.Waves = []Wave{{At: at, Nodes: nodes}}
 		case Cascade:
-			sc.Label, sc.Waves = genCascade(c, racks, zones, rng, at, spec.Correlation, params.lag)
+			jn := newJoiner(rng, spec.Correlation, spec.Tilt)
+			sc.Label, sc.Waves = genCascade(c, racks, zones, jn, at, params.lag)
+			sc.Weight = jn.w
 		default:
 			return nil, fmt.Errorf("campaign: unknown burst model %d", spec.Model)
 		}
@@ -218,13 +306,16 @@ func Generate(c *cluster.Cluster, spec GenSpec) ([]Scenario, error) {
 
 // pickRack draws one rack; Generate pre-filters racks to non-empty
 // ones, so the node list is never empty.
-func pickRack(c *cluster.Cluster, racks []cluster.DomainID, rng *rand.Rand) (cluster.DomainID, []cluster.NodeID) {
+func pickRack(c *cluster.Cluster, racks []cluster.DomainID, rng burstRNG) (cluster.DomainID, []cluster.NodeID) {
 	rack := racks[rng.Intn(len(racks))]
 	return rack, c.DomainNodes(rack)
 }
 
-// genCascade builds a rolling multi-rack burst within one zone.
-func genCascade(c *cluster.Cluster, racks []cluster.DomainID, zones []cluster.DomainID, rng *rand.Rand, at sim.Time, correlation float64, lag sim.Time) (string, []Wave) {
+// genCascade builds a rolling multi-rack burst within one zone. The
+// spread draws go through the joiner so a tilted sampler over-draws
+// long cascades while the weight records the likelihood ratio.
+func genCascade(c *cluster.Cluster, racks []cluster.DomainID, zones []cluster.DomainID, jn *joiner, at sim.Time, lag sim.Time) (string, []Wave) {
+	rng := jn.rng
 	// Group racks by zone; fall back to treating all racks as one zone.
 	var pool []cluster.DomainID
 	if len(zones) > 0 {
@@ -243,7 +334,7 @@ func genCascade(c *cluster.Cluster, racks []cluster.DomainID, zones []cluster.Do
 	var labels []string
 	for j, idx := range order {
 		rack := pool[idx]
-		if j > 0 && rng.Float64() >= correlation {
+		if j > 0 && !jn.join() {
 			continue
 		}
 		nodes := c.DomainNodes(rack)

@@ -119,7 +119,7 @@ func reduceSynthetic(t *testing.T, results []ScenarioResult, workers, shards int
 	t.Helper()
 	aggs := make([]*aggregator, shards)
 	for s := range aggs {
-		aggs[s] = newAggregator()
+		aggs[s] = newAggregator(false)
 	}
 	block := blockSize(len(results), shards)
 	st := newStreamer(64, func(i int, e *entry) { aggs[i/block].add(&e.res) })

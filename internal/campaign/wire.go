@@ -37,11 +37,15 @@ type WireSpec struct {
 	// local caller would concatenate them).
 	Gens []GenSpec `json:"gens"`
 
-	// Execution parameters, mirroring Config.
+	// Execution parameters, mirroring Config. StopTol rides along so
+	// the coordinator's rebuilt Config carries the stop rule; workers
+	// ignore it (RunRangeContext never evaluates stop rules — the
+	// coordinator owns the decision, see Config.StopTol).
 	Horizon  sim.Time `json:"horizon,omitempty"`
 	Workers  int      `json:"workers,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
 	Baseline int      `json:"baseline,omitempty"`
+	StopTol  float64  `json:"stop_tol,omitempty"`
 }
 
 // NewWireSpec flattens a campaign environment spec and its scenario
@@ -134,5 +138,6 @@ func (w WireSpec) Config() (Config, error) {
 		Workers:   w.Workers,
 		Shards:    w.Shards,
 		Baseline:  w.Baseline,
+		StopTol:   w.StopTol,
 	}, nil
 }

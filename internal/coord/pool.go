@@ -248,7 +248,7 @@ func (p *Pool) RunJob(ctx context.Context, spec campaign.WireSpec) (*campaign.Re
 	if err != nil {
 		return nil, err
 	}
-	sched := newScheduler(ranges, p.opts.RangeRetries)
+	sched := newScheduler(ranges, p.opts.RangeRetries, campaign.NewStopMonitor(cfg))
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		wg.Add(1)
@@ -261,7 +261,13 @@ func (p *Pool) RunJob(ctx context.Context, spec campaign.WireSpec) (*campaign.Re
 	if err := sched.err(); err != nil {
 		return nil, err
 	}
-	return mergeJob(sched.collected(), len(cfg.Scenarios), spec.Baseline)
+	states, scenarios, stopped := sched.outcome(len(cfg.Scenarios))
+	rep, err := mergeJob(states, scenarios, spec.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stopped = stopped
+	return rep, nil
 }
 
 // runWorker drives one worker through one job: send the job spec, then
@@ -360,6 +366,15 @@ type rangeTask struct {
 // scheduler is the job's shared state: a pending-range queue workers
 // pull from, the collected shard states, and the finished/failed
 // flag. All methods are safe for concurrent use.
+//
+// Early stopping: with a non-nil StopMonitor the scheduler feeds it
+// each range's shard states as the contiguous completed-range frontier
+// advances — the same shard-order prefix walk the single-process
+// runner does, over the same serialised bytes, so both fire at the
+// same checkpoint. When the rule fires the pending queue is dropped
+// (a stopped campaign schedules zero further ranges), in-flight
+// assignments are cancelled via the done channel, and only the shard
+// states of the stopped prefix survive into the merge.
 type scheduler struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -372,18 +387,32 @@ type scheduler struct {
 
 	states    []campaign.ShardState
 	perWorker map[int]int // worker id -> scenarios done per its last heartbeat
+
+	mon        *campaign.StopMonitor
+	order      []campaign.Range              // ranges in Lo order (the monitor's feed order)
+	rangeState map[int][]campaign.ShardState // r.Lo -> completed range's states
+	frontier   int                           // index into order: next range the monitor needs
+	stopped    bool
+	monErr     error
 }
 
-func newScheduler(ranges []campaign.Range, retries int) *scheduler {
+func newScheduler(ranges []campaign.Range, retries int, mon *campaign.StopMonitor) *scheduler {
 	s := &scheduler{
 		pending:   make([]rangeTask, len(ranges)),
 		remaining: len(ranges),
 		retries:   retries,
 		done:      make(chan struct{}),
 		perWorker: make(map[int]int),
+		mon:       mon,
 	}
 	for i, r := range ranges {
 		s.pending[i] = rangeTask{r: r}
+	}
+	if mon != nil {
+		// Partition emits ranges in ascending Lo order; keep a copy as
+		// the monitor's feed order and buffer out-of-order completions.
+		s.order = append([]campaign.Range(nil), ranges...)
+		s.rangeState = make(map[int][]campaign.ShardState, len(ranges))
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -407,11 +436,16 @@ func (s *scheduler) take() (rangeTask, bool) {
 }
 
 // complete records a range's shard states; finishing the last range
-// finishes the job.
+// finishes the job. With a stop monitor, completing the range at the
+// contiguous frontier feeds the monitor — which may stop the job.
 func (s *scheduler) complete(t rangeTask, states []campaign.ShardState, onProgress func(int)) {
 	s.mu.Lock()
 	s.states = append(s.states, states...)
 	s.remaining--
+	if s.mon != nil && !s.stopped {
+		s.rangeState[t.r.Lo] = states
+		s.advanceMonitorLocked()
+	}
 	done := s.progressLocked()
 	if s.remaining == 0 {
 		s.finishLocked(nil)
@@ -422,12 +456,54 @@ func (s *scheduler) complete(t rangeTask, states []campaign.ShardState, onProgre
 	}
 }
 
+// advanceMonitorLocked feeds the monitor every completed range at the
+// contiguous frontier, in Lo order. If the stop rule fires, the
+// pending queue is dropped — every incomplete range lies past the
+// stopped prefix (the frontier only reaches a shard once all earlier
+// ranges completed, and ranges own disjoint ascending shard blocks) —
+// and the job finishes as soon as the bookkeeping above observes
+// remaining == 0, or right here when only dropped ranges were left.
+func (s *scheduler) advanceMonitorLocked() {
+	for s.frontier < len(s.order) {
+		states, ok := s.rangeState[s.order[s.frontier].Lo]
+		if !ok {
+			return
+		}
+		for _, st := range states {
+			if err := s.mon.Observe(st); err != nil {
+				s.monErr = err
+				s.finishLocked(err)
+				return
+			}
+			if s.mon.Fired() {
+				s.stopped = true
+				s.remaining -= len(s.pending)
+				s.pending = nil
+				if s.remaining == 0 {
+					s.finishLocked(nil)
+				}
+				return
+			}
+		}
+		s.frontier++
+	}
+}
+
 // requeue puts a lost worker's range back on the queue, failing the
-// job once the range exhausted its retries.
+// job once the range exhausted its retries. After the stop rule fired
+// the range is dropped instead — it lies past the stopped prefix, and
+// a stopped campaign schedules zero further ranges.
 func (s *scheduler) requeue(workerID int, t rangeTask, cause error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.perWorker, workerID) // its scenarios will be recounted by the re-runner
+	if s.stopped {
+		s.remaining--
+		if s.remaining == 0 {
+			s.finishLocked(nil)
+		}
+		return
+	}
 	t.retries++
 	if t.retries > s.retries {
 		s.finishLocked(fmt.Errorf("coord: range %s failed %d times: %w", t.r, t.retries, cause))
@@ -475,6 +551,28 @@ func (s *scheduler) collected() []campaign.ShardState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.states
+}
+
+// outcome returns the shard states to merge, the scenario count the
+// merged summary must cover, and whether the job stopped early. On an
+// early stop only the stopped prefix's shards survive: ranges that
+// were already in flight past the boundary may have completed, but
+// their states never reach the merge — exactly what the single-process
+// stopped run produces.
+func (s *scheduler) outcome(total int) ([]campaign.ShardState, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stopped {
+		return s.states, total, false
+	}
+	stopShard := s.mon.StopShard()
+	var states []campaign.ShardState
+	for _, st := range s.states {
+		if st.Shard <= stopShard {
+			states = append(states, st)
+		}
+	}
+	return states, s.mon.PrefixScenarios(), true
 }
 
 // reportProgress records a worker's heartbeat progress (its cumulative

@@ -23,11 +23,17 @@ const defaultRoots = "internal/campaign.Run," +
 	"internal/campaign.RunRangeContext," +
 	"internal/campaign.Partition," +
 	"internal/campaign.MergeShardStates," +
+	"internal/campaign.Generate," +
+	"internal/campaign.(*StopMonitor).Observe," +
+	"internal/campaign.(*Paired).Summary," +
 	"internal/engine.(*Engine).Run," +
 	"internal/engine.(*Engine).Reset," +
 	"internal/sketch.(*Sketch).Add," +
 	"internal/sketch.(*Sketch).Merge," +
 	"internal/sketch.(*Sketch).MarshalBinary," +
+	"internal/sketch.(*Weighted).Add," +
+	"internal/sketch.(*Weighted).Merge," +
+	"internal/sketch.(*Weighted).MarshalBinary," +
 	"internal/coord.partitionJob," +
 	"internal/coord.mergeJob"
 

@@ -1,0 +1,197 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// wRankCheck asserts that est is within tol of the weighted quantile q
+// of the sample: the total weight strictly below est must not exceed
+// q*W + tol*W, and the weight at-or-below est must reach q*W - tol*W.
+func wRankCheck(t *testing.T, vs, ws []float64, q, est, tol float64) {
+	t.Helper()
+	var total, below, atOrBelow float64
+	for i, v := range vs {
+		total += ws[i]
+		if v < est {
+			below += ws[i]
+		}
+		if v <= est {
+			atOrBelow += ws[i]
+		}
+	}
+	target := q * total
+	if below > target+tol*total || atOrBelow < target-tol*total {
+		t.Fatalf("q=%v: estimate %v has weight-rank [%v,%v], want within %v of %v",
+			q, est, below, atOrBelow, tol*total, target)
+	}
+}
+
+func TestWeightedSmallIsExact(t *testing.T) {
+	s := NewWeighted(64)
+	vs := []float64{5, 1, 9, 3, 7}
+	ws := []float64{1, 2, 1, 4, 2}
+	for i, v := range vs {
+		s.Add(v, ws[i])
+	}
+	// Cumulative weights after sorting by value: 1:2, 3:6, 5:7, 7:9, 9:10.
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.2, 1}, {0.21, 3}, {0.6, 3}, {0.7, 5}, {0.9, 7}, {0.95, 9}, {1, 9},
+	} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if s.Count() != 5 || s.SumW() != 10 {
+		t.Fatalf("count=%d sumw=%v, want 5, 10", s.Count(), s.SumW())
+	}
+	wantMean := (5*1 + 1*2 + 9*1 + 3*4 + 7*2) / 10.0
+	if got := s.Mean(); got != wantMean {
+		t.Fatalf("Mean = %v, want %v", got, wantMean)
+	}
+}
+
+func TestWeightedIgnoresNonPositiveWeight(t *testing.T) {
+	s := NewWeighted(16)
+	s.Add(1, 0)
+	s.Add(2, -3)
+	if s.Count() != 0 || s.SumW() != 0 {
+		t.Fatalf("non-positive weights must be ignored: %v", s)
+	}
+}
+
+func TestWeightedQuantilesVsExactReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewWeighted(DefaultK)
+	n := 10_000
+	vs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := range vs {
+		vs[i] = rng.NormFloat64() * 10
+		ws[i] = 0.05 + rng.Float64()*4 // spread of likelihood-ratio-like weights
+		s.Add(vs[i], ws[i])
+	}
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		wRankCheck(t, vs, ws, q, s.Quantile(q), 0.02)
+	}
+}
+
+func TestWeightedMergeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, parts := 8000, 8
+	vs := make([]float64, n)
+	ws := make([]float64, n)
+	merged := NewSeededWeighted(DefaultK, 42)
+	shards := make([]*Weighted, parts)
+	for p := range shards {
+		shards[p] = NewSeededWeighted(DefaultK, 42)
+	}
+	for i := range vs {
+		vs[i] = rng.ExpFloat64()
+		ws[i] = 0.1 + rng.Float64()
+		shards[i*parts/n].Add(vs[i], ws[i])
+	}
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if merged.Count() != uint64(n) {
+		t.Fatalf("merged count %d, want %d", merged.Count(), n)
+	}
+	// SumW is exact for the merge's addition order: per-shard subtotals
+	// folded in shard order.
+	var wantW float64
+	for p := range shards {
+		var sub float64
+		for i := range ws {
+			if i*parts/n == p {
+				sub += ws[i]
+			}
+		}
+		wantW += sub
+	}
+	if got := merged.SumW(); got != wantW {
+		t.Fatalf("merged SumW %v, want %v (must be exact)", got, wantW)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		wRankCheck(t, vs, ws, q, merged.Quantile(q), 0.03)
+	}
+}
+
+// TestWeightedDeterministicReplay pins the campaign contract: the
+// summary is a pure function of its operation sequence, so replaying
+// the same Adds and shard merges produces bit-identical bytes.
+func TestWeightedDeterministicReplay(t *testing.T) {
+	build := func() *Weighted {
+		rng := rand.New(rand.NewSource(3))
+		shards := make([]*Weighted, 4)
+		for p := range shards {
+			shards[p] = NewSeededWeighted(128, 9)
+		}
+		for i := 0; i < 5000; i++ {
+			shards[i/1250].Add(rng.NormFloat64(), 0.2+rng.Float64())
+		}
+		out := NewSeededWeighted(128, 9)
+		for _, sh := range shards {
+			out.Merge(sh)
+		}
+		return out
+	}
+	a, _ := build().MarshalBinary()
+	b, _ := build().MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("replaying the same operation sequence produced different bytes")
+	}
+}
+
+func TestWeightedMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSeededWeighted(64, 17)
+	for i := 0; i < 3000; i++ {
+		s.Add(rng.Float64()*100, 0.5+rng.Float64())
+	}
+	enc, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Weighted
+	if err := d.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	re, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatal("decode/re-encode changed the bytes")
+	}
+	// The decoded copy must continue identically to the original.
+	s.Add(3.5, 2)
+	d.Add(3.5, 2)
+	a, _ := s.MarshalBinary()
+	b, _ := d.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("decoded copy diverged from the original after further Adds")
+	}
+}
+
+func TestWeightedUnmarshalRejectsCorruption(t *testing.T) {
+	s := NewWeighted(32)
+	s.Add(1, 1)
+	s.Add(2, 3)
+	enc, _ := s.MarshalBinary()
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)-5] },
+		"bad magic":  func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad crc":    func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"bad vers":   func(b []byte) []byte { b[4] = 99; return b },
+		"bit flip":   func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b },
+		"trailing":   func(b []byte) []byte { return append(b, 0) },
+		"only magic": func(b []byte) []byte { return b[:4] },
+	} {
+		var d Weighted
+		if err := d.UnmarshalBinary(mutate(append([]byte(nil), enc...))); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}

@@ -368,6 +368,10 @@ type FailureScenario = campaign.Scenario
 // correlation strength, injection time). Its optional timing fields are
 // pointers: nil selects the documented default, Ptr(0) is honoured
 // verbatim (e.g. JitterS: Ptr(0.0) disables injection-time jitter).
+// CRN switches to common-random-number substreams (scenario i depends
+// only on (Seed, i), enabling paired head-to-head comparisons); Tilt
+// >= 1 importance-samples rare cascades, attaching a likelihood-ratio
+// weight to each scenario that campaign summaries reweight by.
 type ScenarioSpec = campaign.GenSpec
 
 // Ptr returns a pointer to v — shorthand for ScenarioSpec's explicit
@@ -387,7 +391,10 @@ func GenerateScenarios(c *Cluster, spec ScenarioSpec) ([]FailureScenario, error)
 // CampaignReport.Results, or OnResult to observe each result (in
 // scenario-index order) without retaining it; Shards fixes the
 // reduction layout — for a fixed seed and shard count the summary is
-// bit-identical at any Workers.
+// bit-identical at any Workers. StopTol > 0 enables CI-driven early
+// stopping: the campaign halts at the first shard-block checkpoint
+// where the p95-loss CI half-width is within the tolerance, at the
+// same scenario whether run single-process or distributed.
 type CampaignConfig = campaign.Config
 
 // CampaignReport is the outcome of a campaign: aggregated
@@ -399,7 +406,10 @@ type CampaignReport = campaign.Report
 // CampaignSummary aggregates a campaign (mean/p50/p95/p99). Counts,
 // Mean and Max are exact; quantiles carry the sketch's rank-error
 // bound (see QuantileSketch) and are exact for campaigns with at most
-// DefaultSketchK samples per metric.
+// DefaultSketchK samples per metric. ESS is the effective sample size
+// of the (possibly importance-weighted) loss estimate — equal to the
+// scenario count for plain campaigns, and above it when a tilt
+// reduces variance.
 type CampaignSummary = campaign.Summary
 
 // CampaignResult is one scenario's outcome, as retained in
@@ -521,6 +531,58 @@ func ConnectCampaignWorker(ctx context.Context, addr string, opts CampaignWorker
 // CampaignProtoVersion is the coordinator/worker wire protocol
 // version; mismatched workers are dropped at the handshake.
 const CampaignProtoVersion = coord.ProtoVersion
+
+// --- Variance engineering ---
+
+// PairedCampaign accumulates per-scenario metric pairs from two
+// campaigns generated with common random numbers (ScenarioSpec.CRN)
+// and summarises their difference. Feed it from the two campaigns'
+// OnResult callbacks via ObserveBase/ObserveOther, keyed by scenario
+// index; only indices observed on both sides enter the summary.
+type PairedCampaign = campaign.Paired
+
+// PairedCampaignSummary is the paired-difference summary: sample
+// count, mean delta with a paired-t 95% CI half-width, and the
+// delta's p50/p95 with an order-statistic CI on the p95. Because the
+// paired deltas cancel the shared scenario-to-scenario variance, the
+// CIs are far narrower than two independent campaigns' at equal
+// budget.
+type PairedCampaignSummary = campaign.PairedSummary
+
+// NewPairedCampaign returns a paired accumulator for campaigns of n
+// scenarios.
+func NewPairedCampaign(n int) *PairedCampaign { return campaign.NewPaired(n) }
+
+// CampaignStopMonitor evaluates the CI-driven early-stop rule
+// (CampaignConfig.StopTol) over a campaign's serialised shard states,
+// observed in shard order. Single-process runs and the distributed
+// coordinator feed it the same state sequence, so both stop at the
+// same scenario and summaries stay bit-identical.
+type CampaignStopMonitor = campaign.StopMonitor
+
+// NewCampaignStopMonitor builds the stop monitor for the config, or
+// nil (the "never stops" monitor) when StopTol <= 0.
+func NewCampaignStopMonitor(cfg CampaignConfig) *CampaignStopMonitor {
+	return campaign.NewStopMonitor(cfg)
+}
+
+// WeightedQuantileSketch is the weighted companion of QuantileSketch:
+// each sample carries an importance-sampling likelihood-ratio weight
+// (ScenarioSpec.Tilt campaigns), quantiles are weighted-rank
+// estimates, and merge/serialisation stay deterministic — the basis
+// of bit-identical tilted campaign summaries across any worker and
+// shard layout.
+type WeightedQuantileSketch = sketch.Weighted
+
+// NewWeightedQuantileSketch returns an empty weighted sketch with
+// compression parameter k (0 selects DefaultSketchK).
+func NewWeightedQuantileSketch(k int) *WeightedQuantileSketch { return sketch.NewWeighted(k) }
+
+// NewSeededWeightedQuantileSketch is NewWeightedQuantileSketch with
+// seeded compaction coin flips (see NewSeededQuantileSketch).
+func NewSeededWeightedQuantileSketch(k int, seed uint64) *WeightedQuantileSketch {
+	return sketch.NewSeededWeighted(k, seed)
+}
 
 // QuantileSketch is the deterministic mergeable streaming quantile
 // sketch campaign summaries are built on (KLL-style). Count, Sum, Min
